@@ -1,0 +1,570 @@
+package tcc
+
+// The figure benchmarks run the paper's evaluation sweeps on the
+// deterministic virtual-CPU simulator and expose the headline speedups
+// as custom benchmark metrics (e.g. "java@32x", "tcc@32x"), so
+// `go test -bench .` regenerates the numbers behind every figure. The
+// ablation benchmarks measure the §5.1 design choices. The microbench
+// group at the end measures real wall-clock operation costs.
+
+import (
+	"testing"
+
+	"tcc/internal/collections"
+	"tcc/internal/concurrent"
+	"tcc/internal/core"
+	"tcc/internal/harness"
+	"tcc/internal/jbb"
+	"tcc/internal/stm"
+	"tcc/internal/stmcol"
+)
+
+// benchCPUs is a reduced sweep (the full 1..32 sweep is tccbench's job;
+// benches report the endpoints that characterize each figure's shape).
+var benchCPUs = []int{1, 32}
+
+func reportFigure(b *testing.B, fig harness.Figure, short []string) {
+	for i, s := range fig.Series {
+		b.ReportMetric(s.Speedup[32], short[i]+"@32x")
+	}
+}
+
+// BenchmarkFigure1 regenerates TestMap: Java HashMap vs Atomos HashMap
+// vs Atomos TransactionalMap.
+func BenchmarkFigure1(b *testing.B) {
+	p := harness.DefaultMapParams()
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestMap", harness.TestMapConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"java", "atomos", "tcc"})
+}
+
+// BenchmarkFigure2 regenerates TestSortedMap: Java TreeMap vs Atomos
+// TreeMap vs Atomos TransactionalSortedMap.
+func BenchmarkFigure2(b *testing.B) {
+	p := harness.DefaultMapParams()
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestSortedMap", harness.TestSortedMapConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"java", "atomos", "tcc"})
+}
+
+// BenchmarkFigure3 regenerates TestCompound: composed operations under
+// a coarse lock vs inside one transaction.
+func BenchmarkFigure3(b *testing.B) {
+	p := harness.DefaultMapParams()
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestCompound", harness.TestCompoundConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"java", "atomos", "tcc"})
+}
+
+// BenchmarkFigure4 regenerates the single-warehouse SPECjbb2000 sweep
+// across the four configurations.
+func BenchmarkFigure4(b *testing.B) {
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = jbb.RunFigure4(benchCPUs, 2048, jbb.DefaultParams(), 11)
+	}
+	reportFigure(b, fig, []string{"java", "baseline", "open", "tcc"})
+}
+
+// ablationRun measures `ops` transactions of `body` across 16 virtual
+// CPUs and returns the run's result (virtual makespan + stats).
+func ablationRunFull(ops int, setup func(pl harness.Platform) func(w *harness.Worker)) harness.Result {
+	pl := &harness.SimPlatform{Seed: 5}
+	exec := setup(pl)
+	const cpus = 16
+	return pl.Run(cpus, func(w *harness.Worker) {
+		for i := 0; i < ops/cpus; i++ {
+			exec(w)
+		}
+	})
+}
+
+// ablationRun is ablationRunFull reduced to the simulated makespan.
+func ablationRun(ops int, setup func(pl harness.Platform) func(w *harness.Worker)) float64 {
+	return ablationRunFull(ops, setup).Elapsed
+}
+
+// BenchmarkAblationIsEmpty reproduces the §5.1 example: transactions
+// running "if !m.IsEmpty() { m.Put(freshKey, v) }" on a non-empty map
+// commute under the empty-transition lock but serialize when isEmpty is
+// derived from size.
+func BenchmarkAblationIsEmpty(b *testing.B) {
+	mk := func(viaSize bool) func(pl harness.Platform) func(w *harness.Worker) {
+		return func(pl harness.Platform) func(w *harness.Worker) {
+			tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+			tm.SetIsEmptyViaSize(viaSize)
+			th := stm.NewThread(&stm.RealClock{}, 1)
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, -1, 0)
+				return nil
+			})
+			return func(w *harness.Worker) {
+				k := w.Index<<20 | w.RNG.Intn(1<<20)
+				_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					w.Compute(500)
+					if !tm.IsEmpty(tx) {
+						tm.Put(tx, k, 1)
+					}
+					w.Compute(500)
+					return nil
+				})
+			}
+		}
+	}
+	var emptyLock, sizeLock float64
+	for i := 0; i < b.N; i++ {
+		emptyLock = ablationRun(1024, mk(false))
+		sizeLock = ablationRun(1024, mk(true))
+	}
+	b.ReportMetric(sizeLock/emptyLock, "sizeLockSlowdown")
+}
+
+// BenchmarkAblationBlindPut reproduces the "LastModified" example:
+// value-returning puts to one shared key order all writers, blind puts
+// commute.
+func BenchmarkAblationBlindPut(b *testing.B) {
+	mk := func(blind bool) func(pl harness.Platform) func(w *harness.Worker) {
+		return func(pl harness.Platform) func(w *harness.Worker) {
+			tm := core.NewTransactionalMap[string, int](collections.NewHashMap[string, int]())
+			return func(w *harness.Worker) {
+				stamp := w.RNG.Int()
+				_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					w.Compute(500)
+					if blind {
+						tm.PutUnread(tx, "LastModified", stamp)
+					} else {
+						tm.Put(tx, "LastModified", stamp)
+					}
+					w.Compute(500)
+					return nil
+				})
+			}
+		}
+	}
+	var blind, reading float64
+	for i := 0; i < b.N; i++ {
+		blind = ablationRun(1024, mk(true))
+		reading = ablationRun(1024, mk(false))
+	}
+	b.ReportMetric(reading/blind, "readingPutSlowdown")
+}
+
+// BenchmarkAblationSegmented measures the §2.4 claim that a segmented
+// ConcurrentHashMap-style table only statistically reduces conflicts
+// inside long transactions: a transaction touching several keys almost
+// always shares a segment (and its size field) with a concurrent one.
+func BenchmarkAblationSegmented(b *testing.B) {
+	const keysPerTx = 8
+	segmented := func(pl harness.Platform) func(w *harness.Worker) {
+		m := stmcol.NewSegmentedHashMap[int, int](16)
+		return func(w *harness.Worker) {
+			var keys [keysPerTx]int
+			for i := range keys {
+				keys[i] = w.RNG.Intn(1 << 20)
+			}
+			_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+				w.Compute(500)
+				for _, k := range keys {
+					m.Put(tx, k, k)
+				}
+				w.Compute(500)
+				return nil
+			})
+		}
+	}
+	wrapped := func(pl harness.Platform) func(w *harness.Worker) {
+		tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+		return func(w *harness.Worker) {
+			var keys [keysPerTx]int
+			for i := range keys {
+				keys[i] = w.RNG.Intn(1 << 20)
+			}
+			_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+				w.Compute(500)
+				for _, k := range keys {
+					tm.Put(tx, k, k)
+				}
+				w.Compute(500)
+				return nil
+			})
+		}
+	}
+	var seg, wrap float64
+	for i := 0; i < b.N; i++ {
+		seg = ablationRun(1024, segmented)
+		wrap = ablationRun(1024, wrapped)
+	}
+	b.ReportMetric(seg/wrap, "segmentedSlowdown")
+}
+
+// BenchmarkAblationEagerWriteCheck compares commit-time (optimistic)
+// semantic conflict detection against the §5.1 pessimistic alternative
+// where writes abort conflicting readers at operation time.
+func BenchmarkAblationEagerWriteCheck(b *testing.B) {
+	mk := func(eager bool) func(pl harness.Platform) func(w *harness.Worker) {
+		return func(pl harness.Platform) func(w *harness.Worker) {
+			tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+			tm.SetEagerWriteCheck(eager)
+			th := stm.NewThread(&stm.RealClock{}, 1)
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				for k := 0; k < 16; k++ {
+					tm.Put(tx, k, 0)
+				}
+				return nil
+			})
+			return func(w *harness.Worker) {
+				k := w.RNG.Intn(16)
+				write := w.RNG.Intn(100) < 20
+				_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					w.Compute(300)
+					if write {
+						v, _ := tm.Get(tx, k)
+						tm.Put(tx, k, v+1)
+					} else {
+						tm.Get(tx, k)
+					}
+					w.Compute(700)
+					return nil
+				})
+			}
+		}
+	}
+	var lazy, eager float64
+	for i := 0; i < b.N; i++ {
+		lazy = ablationRun(1024, mk(false))
+		eager = ablationRun(1024, mk(true))
+	}
+	b.ReportMetric(eager/lazy, "eagerVsLazy")
+}
+
+// --- Real wall-clock microbenchmarks -------------------------------
+
+// BenchmarkRealMapOps measures per-operation wall-clock cost of the
+// three map flavors on the host (single-threaded; the scalability story
+// is the simulator's job).
+func BenchmarkRealMapOps(b *testing.B) {
+	b.Run("SyncMap/Get", func(b *testing.B) {
+		m := concurrent.NewSyncMap[int, int](collections.NewHashMap[int, int]())
+		for i := 0; i < 1024; i++ {
+			m.Put(i, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(i & 1023)
+		}
+	})
+	b.Run("StmcolHashMap/Get", func(b *testing.B) {
+		m := stmcol.NewHashMap[int, int]()
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for i := 0; i < 1024; i++ {
+				m.Put(tx, i, i)
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				m.Get(tx, i&1023)
+				return nil
+			})
+		}
+	})
+	b.Run("TransactionalMap/Get", func(b *testing.B) {
+		tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for i := 0; i < 1024; i++ {
+				tm.Put(tx, i, i)
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Get(tx, i&1023)
+				return nil
+			})
+		}
+	})
+	b.Run("TransactionalMap/Put", func(b *testing.B) {
+		tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, i&4095, i)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkRealSTM measures raw STM primitive costs on the host.
+func BenchmarkRealSTM(b *testing.B) {
+	b.Run("ReadOnlyTx", func(b *testing.B) {
+		v := stm.NewVar(1)
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				v.Get(tx)
+				return nil
+			})
+		}
+	})
+	b.Run("WriteTx", func(b *testing.B) {
+		v := stm.NewVar(1)
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				v.Set(tx, v.Get(tx)+1)
+				return nil
+			})
+		}
+	})
+	b.Run("OpenNested", func(b *testing.B) {
+		v := stm.NewVar(1)
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				return tx.Open(func(o *stm.Tx) error {
+					v.Set(o, i)
+					return nil
+				})
+			})
+		}
+	})
+	b.Run("TenVarTx", func(b *testing.B) {
+		var vars [10]*stm.Var[int]
+		for i := range vars {
+			vars[i] = stm.NewVar(i)
+		}
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				for _, v := range vars {
+					v.Set(tx, v.Get(tx)+1)
+				}
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkAblationContentionManagement compares backoff policies under
+// genuine livelock pressure: an eager-write-check map (pessimistic
+// conflict detection, the other §5.1 alternative) with every worker
+// doing read-modify-writes of one key. Under eager detection each
+// writer kills the other in-flight readers at operation time, so
+// symmetric transactions can ping-pong; randomized exponential backoff
+// breaks the symmetry, aggressive retry re-collides immediately.
+func BenchmarkAblationContentionManagement(b *testing.B) {
+	mk := func(policy stm.BackoffPolicy) func(pl harness.Platform) func(w *harness.Worker) {
+		return func(pl harness.Platform) func(w *harness.Worker) {
+			tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+			tm.SetEagerWriteCheck(true)
+			th := stm.NewThread(&stm.RealClock{}, 1)
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, 0, 0)
+				return nil
+			})
+			return func(w *harness.Worker) {
+				if policy != nil {
+					w.Thread.SetBackoffPolicy(policy)
+				}
+				_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					v, _ := tm.Get(tx, 0)
+					w.Compute(500) // hold the read lock across computation
+					tm.Put(tx, 0, v+1)
+					return nil
+				})
+			}
+		}
+	}
+	var exp, lin, agg harness.Result
+	for i := 0; i < b.N; i++ {
+		exp = ablationRunFull(512, mk(nil))
+		lin = ablationRunFull(512, mk(stm.LinearBackoff{Base: 32}))
+		agg = ablationRunFull(512, mk(stm.AggressiveRetry{}))
+	}
+	b.ReportMetric(lin.Elapsed/exp.Elapsed, "linearVsExpTime")
+	b.ReportMetric(agg.Elapsed/exp.Elapsed, "aggressiveVsExpTime")
+	b.ReportMetric(float64(agg.Stats.Violations)/float64(exp.Stats.Violations+1), "aggressiveWastedWorkX")
+}
+
+// BenchmarkRealSortedMapOps measures wall-clock costs of the sorted
+// wrapper against its wrapped TreeMap.
+func BenchmarkRealSortedMapOps(b *testing.B) {
+	b.Run("TreeMap/Put", func(b *testing.B) {
+		m := collections.NewTreeMap[int, int]()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(i&8191, i)
+		}
+	})
+	b.Run("TransactionalSortedMap/Put", func(b *testing.B) {
+		tm := core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, i&8191, i)
+				return nil
+			})
+		}
+	})
+	b.Run("TransactionalSortedMap/RangeScan8", func(b *testing.B) {
+		tm := core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for i := 0; i < 1024; i++ {
+				tm.Put(tx, i, i)
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				lo := i & 1015
+				tm.SubMap(lo, lo+8).ForEach(tx, func(int, int) bool { return true })
+				return nil
+			})
+		}
+	})
+	b.Run("TransactionalSortedMap/FirstKey", func(b *testing.B) {
+		tm := core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for i := 0; i < 1024; i++ {
+				tm.Put(tx, i, i)
+			}
+			return nil
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.FirstKey(tx)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkRealQueueOps measures wall-clock queue costs: the
+// transactional wrapper vs the lock-free Michael-Scott baseline.
+func BenchmarkRealQueueOps(b *testing.B) {
+	b.Run("MSQueue/EnqueueDequeue", func(b *testing.B) {
+		q := concurrent.NewMSQueue[int]()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(i)
+			q.Dequeue()
+		}
+	})
+	b.Run("TransactionalQueue/PutPoll", func(b *testing.B) {
+		q := core.NewTransactionalQueue[int](collections.NewLinkedQueue[int]())
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				q.Put(tx, i)
+				return nil
+			})
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				q.Poll(tx)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkCollections measures the raw wrapped structures.
+func BenchmarkCollections(b *testing.B) {
+	b.Run("HashMap/Put", func(b *testing.B) {
+		m := collections.NewHashMap[int, int]()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(i&8191, i)
+		}
+	})
+	b.Run("HashMap/Get", func(b *testing.B) {
+		m := collections.NewHashMap[int, int]()
+		for i := 0; i < 8192; i++ {
+			m.Put(i, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(i & 8191)
+		}
+	})
+	b.Run("TreeMap/Get", func(b *testing.B) {
+		m := collections.NewTreeMap[int, int]()
+		for i := 0; i < 8192; i++ {
+			m.Put(i, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(i & 8191)
+		}
+	})
+	b.Run("SkipListMap/Get", func(b *testing.B) {
+		m := collections.NewSkipListMap[int, int](func(a, c int) int { return a - c }, 5)
+		for i := 0; i < 8192; i++ {
+			m.Put(i, i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(i & 8191)
+		}
+	})
+}
+
+// BenchmarkJBBDistrictSensitivity sweeps the district count at 32
+// virtual CPUs: SPECjbb's standard 10-districts-per-warehouse layout
+// spreads the order-table contention, but the Baseline stays flat
+// (warehouse-level counters) while Open improves — separating the two
+// fixes the paper applies.
+func BenchmarkJBBDistrictSensitivity(b *testing.B) {
+	run := func(cfg jbb.Config, districts int) float64 {
+		p := jbb.DefaultParams()
+		p.Districts = districts
+		pl := &harness.SimPlatform{Seed: 12}
+		var wh jbb.Warehouse
+		if cfg == jbb.ConfigJava {
+			wh = jbb.NewJavaWarehouse(p, pl)
+		} else {
+			wh = jbb.NewAtomosWarehouse(cfg, p)
+		}
+		res := pl.Run(32, func(w *harness.Worker) {
+			for i := 0; i < 64; i++ {
+				wh.Do(w, jbb.DrawOp(w))
+			}
+		})
+		return res.Elapsed
+	}
+	var base1, base10, open1, open10, trans1, trans10 float64
+	for i := 0; i < b.N; i++ {
+		base1 = run(jbb.ConfigAtomosBaseline, 1)
+		base10 = run(jbb.ConfigAtomosBaseline, 10)
+		open1 = run(jbb.ConfigAtomosOpen, 1)
+		open10 = run(jbb.ConfigAtomosOpen, 10)
+		trans1 = run(jbb.ConfigAtomosTransactional, 1)
+		trans10 = run(jbb.ConfigAtomosTransactional, 10)
+	}
+	b.ReportMetric(base1/base10, "baselineDistrictGain")
+	b.ReportMetric(open1/open10, "openDistrictGain")
+	b.ReportMetric(trans1/trans10, "transDistrictGain")
+}

@@ -1,0 +1,102 @@
+// Command tccbench regenerates the paper's evaluation figures on the
+// deterministic virtual-CPU simulator:
+//
+//	Figure 1 — TestMap        (HashMap variants)
+//	Figure 2 — TestSortedMap  (TreeMap variants, subMap range lookups)
+//	Figure 3 — TestCompound   (two composed operations per transaction)
+//	Figure 4 — SPECjbb2000    (single-warehouse, four configurations)
+//
+// Each figure prints one row per CPU count and one column per
+// configuration; values are speedups normalized to the 1-CPU Java run,
+// exactly as the paper plots them.
+//
+// Usage:
+//
+//	tccbench                  # all four figures
+//	tccbench -fig 3           # one figure
+//	tccbench -ops 8192        # more work per run
+//	tccbench -cpus 1,2,4,8    # custom sweep
+//	tccbench -stats           # append commit/abort/violation breakdowns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcc/internal/harness"
+	"tcc/internal/jbb"
+)
+
+func main() {
+	var (
+		figFlag   = flag.Int("fig", 0, "figure to run (1-4); 0 runs all")
+		opsFlag   = flag.Int("ops", 4096, "total operations per run (divided among CPUs)")
+		cpusFlag  = flag.String("cpus", "1,2,4,8,16,32", "comma-separated CPU counts")
+		seedFlag  = flag.Int64("seed", 7, "deterministic schedule seed")
+		statsFlag = flag.Bool("stats", false, "print transaction statistics per run")
+	)
+	flag.Parse()
+
+	cpus, err := parseCPUs(*cpusFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tccbench:", err)
+		os.Exit(2)
+	}
+
+	run := func(n int) {
+		fig := buildFigure(n, cpus, *opsFlag, *seedFlag)
+		fmt.Print(fig)
+		if *statsFlag {
+			fmt.Print(fig.StatsString())
+		}
+		fmt.Println()
+	}
+	if *figFlag != 0 {
+		if *figFlag < 1 || *figFlag > 4 {
+			fmt.Fprintln(os.Stderr, "tccbench: -fig must be 1..4")
+			os.Exit(2)
+		}
+		run(*figFlag)
+		return
+	}
+	for n := 1; n <= 4; n++ {
+		run(n)
+	}
+}
+
+func buildFigure(n int, cpus []int, ops int, seed int64) harness.Figure {
+	p := harness.DefaultMapParams()
+	p.TotalOps = ops
+	switch n {
+	case 1:
+		return harness.RunFigure("TestMap (Figure 1)", harness.TestMapConfigs(p), cpus, ops, seed)
+	case 2:
+		return harness.RunFigure("TestSortedMap (Figure 2)", harness.TestSortedMapConfigs(p), cpus, ops, seed)
+	case 3:
+		return harness.RunFigure("TestCompound (Figure 3)", harness.TestCompoundConfigs(p), cpus, ops, seed)
+	default:
+		return jbb.RunFigure4(cpus, ops, jbb.DefaultParams(), seed)
+	}
+}
+
+func parseCPUs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid CPU count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no CPU counts given")
+	}
+	return out, nil
+}

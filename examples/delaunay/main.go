@@ -1,0 +1,146 @@
+// Delaunay-style work-queue refinement with TransactionalQueue.
+//
+// The paper's §3.3 motivates TransactionalQueue with Delaunay mesh
+// refinement (after Kulkarni et al.): workers repeatedly take a "bad
+// triangle" from a shared queue, refine it — possibly producing new bad
+// triangles that go back on the queue — and must do so atomically: if
+// the refinement transaction aborts, the work it took must return to
+// the queue and the work it produced must vanish. Raw open nesting gets
+// this wrong ("if transactions abort, the new work added to the queue
+// is invalid, but may be impossible to recover since another
+// transaction may have dequeued it"); TransactionalQueue's buffered
+// puts and compensated takes get it right.
+//
+// This example runs a synthetic refinement (each element splits into
+// children until its quality reaches a threshold) with injected
+// transaction failures, then checks that every element was processed
+// exactly once — nothing lost, nothing duplicated.
+//
+// Run with:
+//
+//	go run ./examples/delaunay
+package main
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tcc/internal/collections"
+	"tcc/internal/core"
+	"tcc/internal/stm"
+)
+
+// element is one unit of refinement work.
+type element struct {
+	ID      int64
+	Quality int // refined (dropped) when Quality reaches 0
+}
+
+const (
+	seeds   = 64
+	quality = 3 // each seed produces a tree of refinements this deep
+	workers = 6
+)
+
+func main() {
+	queue := core.NewTransactionalQueue[element](collections.NewLinkedQueue[element]())
+	ids := core.NewUIDGen(0)
+	processed := core.NewCounter(0)
+
+	setup := stm.NewThread(&stm.RealClock{}, 0)
+	if err := setup.Atomic(func(tx *stm.Tx) error {
+		for i := 0; i < seeds; i++ {
+			queue.Put(tx, element{ID: ids.Next(tx), Quality: quality})
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	// The complete refinement is a binary tree of depth `quality` per
+	// seed, so the total number of elements is known up front and doubles
+	// as the termination condition.
+	want := seeds * ((1 << (quality + 1)) - 1)
+
+	var seen sync.Map // element ID -> times processed
+	injected := errors.New("injected failure")
+
+	var wg sync.WaitGroup
+	var injectedCount int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := stm.NewThread(&stm.RealClock{}, int64(id+1))
+			step := 0
+			for {
+				var got element
+				var ok bool
+				err := th.Atomic(func(tx *stm.Tx) error {
+					got, ok = queue.Poll(tx)
+					if !ok {
+						return nil // queue empty (other workers may refill it)
+					}
+					// Refine: produce children while quality remains.
+					if got.Quality > 0 {
+						queue.Put(tx, element{ID: ids.Next(tx), Quality: got.Quality - 1})
+						queue.Put(tx, element{ID: ids.Next(tx), Quality: got.Quality - 1})
+					}
+					processed.Add(tx, 1)
+					step++
+					if step%7 == 0 {
+						// Simulated cascade failure: the element we
+						// took must return to the queue, the children
+						// we produced must never appear.
+						return injected
+					}
+					return nil
+				})
+				switch {
+				case err == injected:
+					mu.Lock()
+					injectedCount++
+					mu.Unlock()
+					continue
+				case err != nil:
+					panic(err)
+				case !ok:
+					// Empty queue is not termination: a peer may still
+					// be refining and about to publish children. Done
+					// only once every known element has been processed.
+					if processed.Value() >= int64(want) {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				// Successful commit: record exactly-once processing.
+				if n, loaded := seen.LoadOrStore(got.ID, 1); loaded {
+					seen.Store(got.ID, n.(int)+1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	count, dups := 0, 0
+	seen.Range(func(_, v any) bool {
+		count++
+		if v.(int) != 1 {
+			dups++
+		}
+		return true
+	})
+	fmt.Printf("elements processed   = %d (want %d)\n", count, want)
+	fmt.Printf("duplicate processing = %d (want 0)\n", dups)
+	fmt.Printf("injected failures    = %d (each rolled back and retried safely)\n", injectedCount)
+	fmt.Printf("committed refinements (open-nested counter) = %d\n", processed.Value())
+	fmt.Printf("queue leftover       = %d (want 0)\n", queue.CommittedSize())
+	if count != want || dups != 0 || queue.CommittedSize() != 0 {
+		panic("refinement lost or duplicated work")
+	}
+	fmt.Println("ok: no work lost or duplicated despite aborted transactions")
+}

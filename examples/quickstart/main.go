@@ -1,0 +1,77 @@
+// Quickstart: wrap an existing map in a TransactionalMap and operate on
+// it from concurrent long-running transactions.
+//
+// The program runs several goroutines, each repeatedly executing a
+// transaction that composes multiple map operations (a read-modify-write
+// on one key plus an insert of a fresh key). Because the wrapper uses
+// semantic concurrency control, inserts of different keys never
+// conflict — even though every insert changes the hash table's internal
+// size field — while read-modify-writes of the same key serialize
+// correctly.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"tcc/internal/collections"
+	"tcc/internal/core"
+	"tcc/internal/stm"
+)
+
+func main() {
+	// Wrap a plain, non-thread-safe HashMap — the same way the paper
+	// wraps java.util.HashMap. All access now goes through the wrapper.
+	tm := core.NewTransactionalMap[string, int](collections.NewHashMap[string, int]())
+
+	const workers = 8
+	const perWorker = 200
+
+	var wg sync.WaitGroup
+	var totalViolations, totalAborts uint64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each concurrent worker needs its own stm.Thread.
+			th := stm.NewThread(&stm.RealClock{}, int64(id))
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("worker-%d-item-%d", id, i)
+				err := th.Atomic(func(tx *stm.Tx) error {
+					// Compose several operations atomically: bump a
+					// shared counter key and insert a private key.
+					n, _ := tm.Get(tx, "total")
+					tm.Put(tx, "total", n+1)
+					tm.Put(tx, key, i)
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+			mu.Lock()
+			totalViolations += th.Stats.Violations
+			totalAborts += th.Stats.Aborts
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	th := stm.NewThread(&stm.RealClock{}, 99)
+	if err := th.Atomic(func(tx *stm.Tx) error {
+		total, _ := tm.Get(tx, "total")
+		size := tm.Size(tx)
+		fmt.Printf("counter key 'total' = %d (want %d)\n", total, workers*perWorker)
+		fmt.Printf("map size            = %d (want %d)\n", size, workers*perWorker+1)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("semantic violations = %d (same-key read-modify-write conflicts, resolved by retry)\n", totalViolations)
+	fmt.Printf("memory aborts       = %d (the wrapper eliminates size-field conflicts)\n", totalAborts)
+}

@@ -1,0 +1,3 @@
+module tcc
+
+go 1.24

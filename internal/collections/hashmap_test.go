@@ -1,0 +1,223 @@
+package collections
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap[string, int]()
+	if m.Size() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("get on empty map succeeded")
+	}
+	if old, had := m.Put("a", 1); had {
+		t.Fatalf("first put reported previous value %d", old)
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("get = (%d,%v), want (1,true)", v, ok)
+	}
+	if old, had := m.Put("a", 2); !had || old != 1 {
+		t.Fatalf("overwrite = (%d,%v), want (1,true)", old, had)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size = %d, want 1", m.Size())
+	}
+	if v, ok := m.Remove("a"); !ok || v != 2 {
+		t.Fatalf("remove = (%d,%v), want (2,true)", v, ok)
+	}
+	if _, ok := m.Remove("a"); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if m.Size() != 0 {
+		t.Fatalf("size = %d after removal, want 0", m.Size())
+	}
+}
+
+func TestHashMapResize(t *testing.T) {
+	m := NewHashMap[int, int]()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		m.Put(i, i*i)
+	}
+	if m.Size() != n {
+		t.Fatalf("size = %d, want %d", m.Size(), n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i*i {
+			t.Fatalf("get(%d) = (%d,%v)", i, v, ok)
+		}
+	}
+	if len(m.buckets) <= hmInitialBuckets {
+		t.Fatal("table never grew")
+	}
+}
+
+func TestHashMapForEachAndKeys(t *testing.T) {
+	m := NewHashMap[int, string]()
+	want := map[int]string{1: "a", 2: "b", 3: "c"}
+	for k, v := range want {
+		m.Put(k, v)
+	}
+	seen := map[int]string{}
+	m.ForEach(func(k int, v string) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Fatalf("ForEach saw %q for %d, want %q", seen[k], k, v)
+		}
+	}
+	if got := m.Keys(); len(got) != 3 {
+		t.Fatalf("Keys() = %v", got)
+	}
+	// Early termination.
+	count := 0
+	m.ForEach(func(int, string) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("ForEach visited %d entries after stop, want 1", count)
+	}
+}
+
+func TestHashMapClear(t *testing.T) {
+	m := NewHashMap[int, int]()
+	for i := 0; i < 100; i++ {
+		m.Put(i, i)
+	}
+	m.Clear()
+	if m.Size() != 0 || m.ContainsKey(5) {
+		t.Fatal("clear left entries behind")
+	}
+	m.Put(7, 7)
+	if v, ok := m.Get(7); !ok || v != 7 {
+		t.Fatal("map unusable after clear")
+	}
+}
+
+// TestHashMapMatchesModel drives the HashMap with random operations and
+// compares against Go's built-in map as the reference model.
+func TestHashMapMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewHashMap[int, int]()
+	ref := map[int]int{}
+	for i := 0; i < 50_000; i++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			wantOld, wantHad := ref[k]
+			gotOld, gotHad := m.Put(k, v)
+			if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+				t.Fatalf("put(%d): got (%d,%v), want (%d,%v)", k, gotOld, gotHad, wantOld, wantHad)
+			}
+			ref[k] = v
+		case 1:
+			wantOld, wantHad := ref[k]
+			gotOld, gotHad := m.Remove(k)
+			if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+				t.Fatalf("remove(%d): got (%d,%v), want (%d,%v)", k, gotOld, gotHad, wantOld, wantHad)
+			}
+			delete(ref, k)
+		default:
+			wantV, wantOK := ref[k]
+			gotV, gotOK := m.Get(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("get(%d): got (%d,%v), want (%d,%v)", k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		if m.Size() != len(ref) {
+			t.Fatalf("size = %d, want %d", m.Size(), len(ref))
+		}
+	}
+}
+
+// TestHashMapPutGetProperty is a quick-check property: after Put(k,v),
+// Get(k) returns v and size never disagrees with distinct-key count.
+func TestHashMapPutGetProperty(t *testing.T) {
+	prop := func(keys []int16, v int) bool {
+		m := NewHashMap[int16, int]()
+		distinct := map[int16]bool{}
+		for i, k := range keys {
+			m.Put(k, v+i)
+			distinct[k] = true
+			if got, ok := m.Get(k); !ok || got != v+i {
+				return false
+			}
+		}
+		return m.Size() == len(distinct)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkedQueueFIFO(t *testing.T) {
+	q := NewLinkedQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Size() != 10 {
+		t.Fatalf("size = %d, want 10", q.Size())
+	}
+	if v, ok := q.Peek(); !ok || v != 0 {
+		t.Fatalf("peek = (%d,%v), want (0,true)", v, ok)
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if q.Size() != 0 {
+		t.Fatal("queue not empty after draining")
+	}
+	// Reusable after draining.
+	q.Enqueue(42)
+	if v, ok := q.Dequeue(); !ok || v != 42 {
+		t.Fatalf("dequeue after drain = (%d,%v)", v, ok)
+	}
+}
+
+func TestLinkedQueueInterleaved(t *testing.T) {
+	q := NewLinkedQueue[int]()
+	ref := []int{}
+	rng := rand.New(rand.NewSource(3))
+	next := 0
+	for i := 0; i < 10_000; i++ {
+		if rng.Intn(2) == 0 {
+			q.Enqueue(next)
+			ref = append(ref, next)
+			next++
+		} else {
+			v, ok := q.Dequeue()
+			if len(ref) == 0 {
+				if ok {
+					t.Fatal("dequeue succeeded on empty")
+				}
+				continue
+			}
+			if !ok || v != ref[0] {
+				t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if q.Size() != len(ref) {
+			t.Fatalf("size = %d, want %d", q.Size(), len(ref))
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package collections
+
+import "math/rand"
+
+// SkipListMap is a probabilistically balanced sorted map — the
+// structure underlying the ConcurrentSkipListMap that paper §2.2 cites
+// as JDK 6's NavigableMap implementation. Like the other structures in
+// this package it is single-threaded: it exists as an *alternative*
+// SortedMap implementation so the transactional wrapper's "wrap any
+// existing implementation, no knowledge of internals required" claim
+// can be demonstrated over a second, structurally different tree
+// substitute (see TestWrapperOverSkipList).
+type SkipListMap[K comparable, V any] struct {
+	cmp  func(a, b K) int
+	head *slNode[K, V] // sentinel with maxLevel forward pointers
+	rng  *rand.Rand
+	size int
+	// level is the current highest occupied level + 1.
+	level int
+}
+
+type slNode[K comparable, V any] struct {
+	key     K
+	val     V
+	forward []*slNode[K, V]
+}
+
+const slMaxLevel = 24
+
+// NewSkipListMap creates an empty skip list ordered by compare, with a
+// deterministic tower-height stream seeded by seed.
+func NewSkipListMap[K comparable, V any](compare func(a, b K) int, seed int64) *SkipListMap[K, V] {
+	return &SkipListMap[K, V]{
+		cmp:   compare,
+		head:  &slNode[K, V]{forward: make([]*slNode[K, V], slMaxLevel)},
+		rng:   rand.New(rand.NewSource(seed)),
+		level: 1,
+	}
+}
+
+// Compare applies the map's comparator.
+func (s *SkipListMap[K, V]) Compare(a, b K) int { return s.cmp(a, b) }
+
+// randomLevel draws a tower height with P(level > l) = 2^-l.
+func (s *SkipListMap[K, V]) randomLevel() int {
+	lvl := 1
+	for lvl < slMaxLevel && s.rng.Intn(2) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the rightmost node strictly before
+// k at every level and returns the candidate node at level 0.
+func (s *SkipListMap[K, V]) findPredecessors(k K, update []*slNode[K, V]) *slNode[K, V] {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && s.cmp(x.forward[i].key, k) < 0 {
+			x = x.forward[i]
+		}
+		if update != nil {
+			update[i] = x
+		}
+	}
+	return x.forward[0]
+}
+
+// Get returns the value mapped to k.
+func (s *SkipListMap[K, V]) Get(k K) (V, bool) {
+	n := s.findPredecessors(k, nil)
+	if n != nil && s.cmp(n.key, k) == 0 {
+		return n.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k is mapped.
+func (s *SkipListMap[K, V]) ContainsKey(k K) bool {
+	_, ok := s.Get(k)
+	return ok
+}
+
+// Put maps k to v, returning the previous value if k was present.
+func (s *SkipListMap[K, V]) Put(k K, v V) (V, bool) {
+	update := make([]*slNode[K, V], slMaxLevel)
+	for i := s.level; i < slMaxLevel; i++ {
+		update[i] = s.head
+	}
+	n := s.findPredecessors(k, update)
+	if n != nil && s.cmp(n.key, k) == 0 {
+		old := n.val
+		n.val = v
+		return old, true
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		s.level = lvl
+	}
+	node := &slNode[K, V]{key: k, val: v, forward: make([]*slNode[K, V], lvl)}
+	for i := 0; i < lvl; i++ {
+		node.forward[i] = update[i].forward[i]
+		update[i].forward[i] = node
+	}
+	s.size++
+	var zero V
+	return zero, false
+}
+
+// Remove deletes k's mapping, returning the removed value if present.
+func (s *SkipListMap[K, V]) Remove(k K) (V, bool) {
+	update := make([]*slNode[K, V], slMaxLevel)
+	for i := s.level; i < slMaxLevel; i++ {
+		update[i] = s.head
+	}
+	n := s.findPredecessors(k, update)
+	if n == nil || s.cmp(n.key, k) != 0 {
+		var zero V
+		return zero, false
+	}
+	for i := 0; i < len(n.forward); i++ {
+		if update[i].forward[i] == n {
+			update[i].forward[i] = n.forward[i]
+		}
+	}
+	for s.level > 1 && s.head.forward[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return n.val, true
+}
+
+// Size returns the number of mappings.
+func (s *SkipListMap[K, V]) Size() int { return s.size }
+
+// FirstKey returns the minimum key.
+func (s *SkipListMap[K, V]) FirstKey() (K, bool) {
+	if n := s.head.forward[0]; n != nil {
+		return n.key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// LastKey returns the maximum key.
+func (s *SkipListMap[K, V]) LastKey() (K, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil {
+			x = x.forward[i]
+		}
+	}
+	if x == s.head {
+		var zero K
+		return zero, false
+	}
+	return x.key, true
+}
+
+// CeilingKey returns the smallest key >= k.
+func (s *SkipListMap[K, V]) CeilingKey(k K) (K, bool) {
+	if n := s.findPredecessors(k, nil); n != nil {
+		return n.key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// HigherKey returns the smallest key > k.
+func (s *SkipListMap[K, V]) HigherKey(k K) (K, bool) {
+	n := s.findPredecessors(k, nil)
+	if n != nil && s.cmp(n.key, k) == 0 {
+		n = n.forward[0]
+	}
+	if n != nil {
+		return n.key, true
+	}
+	var zero K
+	return zero, false
+}
+
+// lowerNode returns the rightmost node with key < k (or the sentinel).
+func (s *SkipListMap[K, V]) lowerNode(k K) *slNode[K, V] {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && s.cmp(x.forward[i].key, k) < 0 {
+			x = x.forward[i]
+		}
+	}
+	return x
+}
+
+// FloorKey returns the largest key <= k.
+func (s *SkipListMap[K, V]) FloorKey(k K) (K, bool) {
+	x := s.lowerNode(k)
+	if next := x.forward[0]; next != nil && s.cmp(next.key, k) == 0 {
+		return next.key, true
+	}
+	if x == s.head {
+		var zero K
+		return zero, false
+	}
+	return x.key, true
+}
+
+// LowerKey returns the largest key < k.
+func (s *SkipListMap[K, V]) LowerKey(k K) (K, bool) {
+	x := s.lowerNode(k)
+	if x == s.head {
+		var zero K
+		return zero, false
+	}
+	return x.key, true
+}
+
+// AscendRange visits mappings with lo <= key < hi in ascending order
+// until fn returns false; nil bounds are unbounded.
+func (s *SkipListMap[K, V]) AscendRange(lo, hi *K, fn func(k K, v V) bool) {
+	var n *slNode[K, V]
+	if lo == nil {
+		n = s.head.forward[0]
+	} else {
+		n = s.findPredecessors(*lo, nil)
+	}
+	for n != nil {
+		if hi != nil && s.cmp(n.key, *hi) >= 0 {
+			return
+		}
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = n.forward[0]
+	}
+}
+
+// ForEach visits every mapping in ascending key order until fn returns
+// false.
+func (s *SkipListMap[K, V]) ForEach(fn func(k K, v V) bool) { s.AscendRange(nil, nil, fn) }
+
+// Keys returns the keys in ascending order.
+func (s *SkipListMap[K, V]) Keys() []K {
+	out := make([]K, 0, s.size)
+	s.ForEach(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes all mappings.
+func (s *SkipListMap[K, V]) Clear() {
+	s.head = &slNode[K, V]{forward: make([]*slNode[K, V], slMaxLevel)}
+	s.level = 1
+	s.size = 0
+}
+
+var _ SortedMap[int, int] = (*SkipListMap[int, int])(nil)

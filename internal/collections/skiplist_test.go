@@ -1,0 +1,183 @@
+package collections
+
+import (
+	"cmp"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newIntSkipList() *SkipListMap[int, int] {
+	return NewSkipListMap[int, int](cmp.Compare[int], 7)
+}
+
+func TestSkipListBasics(t *testing.T) {
+	m := newIntSkipList()
+	if m.Size() != 0 || m.ContainsKey(1) {
+		t.Fatal("fresh list not empty")
+	}
+	if _, had := m.Put(1, 10); had {
+		t.Fatal("first put had previous")
+	}
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("get = (%d,%v)", v, ok)
+	}
+	if old, had := m.Put(1, 11); !had || old != 10 {
+		t.Fatalf("overwrite = (%d,%v)", old, had)
+	}
+	if v, ok := m.Remove(1); !ok || v != 11 {
+		t.Fatalf("remove = (%d,%v)", v, ok)
+	}
+	if _, ok := m.Remove(1); ok {
+		t.Fatal("double remove")
+	}
+	if m.Size() != 0 {
+		t.Fatalf("size = %d", m.Size())
+	}
+}
+
+// TestSkipListMatchesTreeMap drives the skip list and the red-black
+// tree with identical random operations; as two implementations of the
+// same SortedMap interface they must agree on everything.
+func TestSkipListMatchesTreeMap(t *testing.T) {
+	sl := newIntSkipList()
+	tm := NewTreeMap[int, int]()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30_000; i++ {
+		k := rng.Intn(400)
+		switch rng.Intn(5) {
+		case 0, 1:
+			v := rng.Int() % 10_000
+			o1, h1 := sl.Put(k, v)
+			o2, h2 := tm.Put(k, v)
+			if h1 != h2 || (h1 && o1 != o2) {
+				t.Fatalf("put(%d) disagreement: (%d,%v) vs (%d,%v)", k, o1, h1, o2, h2)
+			}
+		case 2:
+			o1, h1 := sl.Remove(k)
+			o2, h2 := tm.Remove(k)
+			if h1 != h2 || (h1 && o1 != o2) {
+				t.Fatalf("remove(%d) disagreement", k)
+			}
+		case 3:
+			v1, ok1 := sl.Get(k)
+			v2, ok2 := tm.Get(k)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				t.Fatalf("get(%d) disagreement", k)
+			}
+		default:
+			type nav struct {
+				name string
+				a, b func(int) (int, bool)
+			}
+			for _, q := range []nav{
+				{"ceiling", sl.CeilingKey, tm.CeilingKey},
+				{"higher", sl.HigherKey, tm.HigherKey},
+				{"floor", sl.FloorKey, tm.FloorKey},
+				{"lower", sl.LowerKey, tm.LowerKey},
+			} {
+				a, aok := q.a(k)
+				b, bok := q.b(k)
+				if aok != bok || (aok && a != b) {
+					t.Fatalf("%s(%d) disagreement: (%d,%v) vs (%d,%v)", q.name, k, a, aok, b, bok)
+				}
+			}
+		}
+		if sl.Size() != tm.Size() {
+			t.Fatalf("size disagreement: %d vs %d", sl.Size(), tm.Size())
+		}
+	}
+	// Endpoints and full ordering.
+	f1, _ := sl.FirstKey()
+	f2, _ := tm.FirstKey()
+	l1, _ := sl.LastKey()
+	l2, _ := tm.LastKey()
+	if f1 != f2 || l1 != l2 {
+		t.Fatalf("endpoints disagree: (%d,%d) vs (%d,%d)", f1, l1, f2, l2)
+	}
+	ka, kb := sl.Keys(), tm.Keys()
+	if len(ka) != len(kb) {
+		t.Fatalf("key counts: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("keys diverge at %d: %d vs %d", i, ka[i], kb[i])
+		}
+	}
+}
+
+func TestSkipListAscendRange(t *testing.T) {
+	m := newIntSkipList()
+	for i := 0; i < 100; i += 10 {
+		m.Put(i, i)
+	}
+	lo, hi := 15, 55
+	var got []int
+	m.AscendRange(&lo, &hi, func(k, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.AscendRange(nil, nil, func(int, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestSkipListOrderedProperty(t *testing.T) {
+	prop := func(keys []int16) bool {
+		m := NewSkipListMap[int16, int](func(a, b int16) int { return int(a) - int(b) }, 3)
+		set := map[int16]bool{}
+		for _, k := range keys {
+			m.Put(k, int(k))
+			set[k] = true
+		}
+		got := m.Keys()
+		if len(got) != len(set) {
+			return false
+		}
+		want := make([]int, 0, len(set))
+		for k := range set {
+			want = append(want, int(k))
+		}
+		sort.Ints(want)
+		for i := range want {
+			if int(got[i]) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListClear(t *testing.T) {
+	m := newIntSkipList()
+	for i := 0; i < 64; i++ {
+		m.Put(i, i)
+	}
+	m.Clear()
+	if m.Size() != 0 || m.ContainsKey(3) {
+		t.Fatal("clear failed")
+	}
+	m.Put(5, 5)
+	if v, ok := m.Get(5); !ok || v != 5 {
+		t.Fatal("unusable after clear")
+	}
+}

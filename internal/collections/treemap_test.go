@@ -1,0 +1,319 @@
+package collections
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeMapBasics(t *testing.T) {
+	m := NewTreeMap[int, string]()
+	if m.Size() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := m.FirstKey(); ok {
+		t.Fatal("FirstKey on empty tree succeeded")
+	}
+	if _, ok := m.LastKey(); ok {
+		t.Fatal("LastKey on empty tree succeeded")
+	}
+	m.Put(5, "e")
+	m.Put(1, "a")
+	m.Put(9, "i")
+	if v, ok := m.Get(5); !ok || v != "e" {
+		t.Fatalf("get(5) = (%q,%v)", v, ok)
+	}
+	if k, _ := m.FirstKey(); k != 1 {
+		t.Fatalf("first = %d, want 1", k)
+	}
+	if k, _ := m.LastKey(); k != 9 {
+		t.Fatalf("last = %d, want 9", k)
+	}
+	if old, had := m.Put(5, "E"); !had || old != "e" {
+		t.Fatalf("overwrite = (%q,%v)", old, had)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("size = %d, want 3", m.Size())
+	}
+	if v, ok := m.Remove(5); !ok || v != "E" {
+		t.Fatalf("remove = (%q,%v)", v, ok)
+	}
+	if m.ContainsKey(5) {
+		t.Fatal("removed key still present")
+	}
+}
+
+func TestTreeMapOrderedIteration(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, k := range perm {
+		m.Put(k, k*2)
+	}
+	var got []int
+	m.ForEach(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("visited %d keys, want 1000", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("iteration not in ascending order")
+	}
+}
+
+func TestTreeMapNavigation(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	for _, k := range []int{10, 20, 30, 40, 50} {
+		m.Put(k, k)
+	}
+	cases := []struct {
+		name string
+		fn   func(int) (int, bool)
+		in   int
+		want int
+		ok   bool
+	}{
+		{"ceiling-exact", m.CeilingKey, 30, 30, true},
+		{"ceiling-between", m.CeilingKey, 31, 40, true},
+		{"ceiling-low", m.CeilingKey, -5, 10, true},
+		{"ceiling-high", m.CeilingKey, 51, 0, false},
+		{"higher-exact", m.HigherKey, 30, 40, true},
+		{"higher-between", m.HigherKey, 29, 30, true},
+		{"higher-max", m.HigherKey, 50, 0, false},
+		{"floor-exact", m.FloorKey, 30, 30, true},
+		{"floor-between", m.FloorKey, 29, 20, true},
+		{"floor-low", m.FloorKey, 5, 0, false},
+		{"lower-exact", m.LowerKey, 30, 20, true},
+		{"lower-min", m.LowerKey, 10, 0, false},
+		{"lower-high", m.LowerKey, 99, 50, true},
+	}
+	for _, c := range cases {
+		got, ok := c.fn(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s(%d) = (%d,%v), want (%d,%v)", c.name, c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTreeMapAscendRange(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	for i := 0; i < 100; i += 10 {
+		m.Put(i, i)
+	}
+	collect := func(lo, hi *int) []int {
+		var out []int
+		m.AscendRange(lo, hi, func(k, _ int) bool {
+			out = append(out, k)
+			return true
+		})
+		return out
+	}
+	lo, hi := 25, 65
+	got := collect(&lo, &hi)
+	want := []int{30, 40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("range [25,65) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range [25,65) = %v, want %v", got, want)
+		}
+	}
+	// hi is exclusive (Java subMap semantics).
+	lo, hi = 30, 60
+	got = collect(&lo, &hi)
+	if len(got) != 3 || got[0] != 30 || got[2] != 50 {
+		t.Fatalf("range [30,60) = %v, want [30 40 50]", got)
+	}
+	// Unbounded sides.
+	if got := collect(nil, &hi); len(got) != 6 {
+		t.Fatalf("range (-inf,60) = %v", got)
+	}
+	if got := collect(&lo, nil); len(got) != 7 {
+		t.Fatalf("range [30,inf) = %v", got)
+	}
+	if got := collect(nil, nil); len(got) != 10 {
+		t.Fatalf("full range = %v", got)
+	}
+}
+
+func TestTreeMapCustomComparator(t *testing.T) {
+	// Descending comparator flips first/last.
+	m := NewTreeMapFunc[int, int](func(a, b int) int { return b - a })
+	for _, k := range []int{3, 1, 2} {
+		m.Put(k, k)
+	}
+	if k, _ := m.FirstKey(); k != 3 {
+		t.Fatalf("first under descending order = %d, want 3", k)
+	}
+	if k, _ := m.LastKey(); k != 1 {
+		t.Fatalf("last under descending order = %d, want 1", k)
+	}
+}
+
+// TestTreeMapMatchesModel drives the tree with random operations,
+// checking results against a Go map + sorted keys reference and
+// verifying the red-black invariants as the tree churns.
+func TestTreeMapMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewTreeMap[int, int]()
+	ref := map[int]int{}
+	for i := 0; i < 30_000; i++ {
+		k := rng.Intn(300)
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Int()
+			wantOld, wantHad := ref[k]
+			gotOld, gotHad := m.Put(k, v)
+			if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+				t.Fatalf("put(%d): got (%d,%v), want (%d,%v)", k, gotOld, gotHad, wantOld, wantHad)
+			}
+			ref[k] = v
+		case 2:
+			wantOld, wantHad := ref[k]
+			gotOld, gotHad := m.Remove(k)
+			if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+				t.Fatalf("remove(%d): got (%d,%v), want (%d,%v)", k, gotOld, gotHad, wantOld, wantHad)
+			}
+			delete(ref, k)
+		default:
+			wantV, wantOK := ref[k]
+			gotV, gotOK := m.Get(k)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("get(%d): got (%d,%v), want (%d,%v)", k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		if m.Size() != len(ref) {
+			t.Fatalf("size = %d, want %d", m.Size(), len(ref))
+		}
+		if i%512 == 0 {
+			if _, err := m.checkInvariants(); err != nil {
+				t.Fatalf("red-black invariant broken after %d ops: %v", i, err)
+			}
+		}
+	}
+	if _, err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Final ordering check against the reference.
+	keys := make([]int, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	got := m.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("key count %d, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("keys[%d] = %d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+// TestTreeMapInvariantProperty quick-checks that any insertion sequence
+// followed by any deletion subset leaves a valid red-black tree.
+func TestTreeMapInvariantProperty(t *testing.T) {
+	prop := func(ins []int16, del []int16) bool {
+		m := NewTreeMap[int16, int]()
+		for i, k := range ins {
+			m.Put(k, i)
+		}
+		if _, err := m.checkInvariants(); err != nil {
+			return false
+		}
+		for _, k := range del {
+			m.Remove(k)
+		}
+		_, err := m.checkInvariants()
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeMapNavigationProperty quick-checks navigation queries against
+// a sorted-slice oracle.
+func TestTreeMapNavigationProperty(t *testing.T) {
+	prop := func(ins []int16, probe int16) bool {
+		m := NewTreeMap[int16, int]()
+		set := map[int16]bool{}
+		for _, k := range ins {
+			m.Put(k, 0)
+			set[k] = true
+		}
+		keys := make([]int, 0, len(set))
+		for k := range set {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		oracle := func(pred func(int) bool, fromLow bool) (int16, bool) {
+			if fromLow {
+				for _, k := range keys {
+					if pred(k) {
+						return int16(k), true
+					}
+				}
+			} else {
+				for i := len(keys) - 1; i >= 0; i-- {
+					if pred(keys[i]) {
+						return int16(keys[i]), true
+					}
+				}
+			}
+			return 0, false
+		}
+		p := int(probe)
+		type q struct {
+			got, want int16
+			gok, wok  bool
+		}
+		var checks []q
+		g, gok := m.CeilingKey(probe)
+		w, wok := oracle(func(k int) bool { return k >= p }, true)
+		checks = append(checks, q{g, w, gok, wok})
+		g, gok = m.HigherKey(probe)
+		w, wok = oracle(func(k int) bool { return k > p }, true)
+		checks = append(checks, q{g, w, gok, wok})
+		g, gok = m.FloorKey(probe)
+		w, wok = oracle(func(k int) bool { return k <= p }, false)
+		checks = append(checks, q{g, w, gok, wok})
+		g, gok = m.LowerKey(probe)
+		w, wok = oracle(func(k int) bool { return k < p }, false)
+		checks = append(checks, q{g, w, gok, wok})
+		for _, c := range checks {
+			if c.gok != c.wok || (c.gok && c.got != c.want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMapClear(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	for i := 0; i < 50; i++ {
+		m.Put(i, i)
+	}
+	m.Clear()
+	if m.Size() != 0 {
+		t.Fatal("clear left entries")
+	}
+	if _, err := m.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Put(1, 1)
+	if v, ok := m.Get(1); !ok || v != 1 {
+		t.Fatal("tree unusable after clear")
+	}
+}

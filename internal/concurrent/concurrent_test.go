@@ -1,0 +1,191 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"tcc/internal/collections"
+)
+
+func TestSyncMapConcurrentAccess(t *testing.T) {
+	m := NewSyncMap[int, int](collections.NewHashMap[int, int]())
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				m.Put(k, k)
+				if v, ok := m.Get(k); !ok || v != k {
+					t.Errorf("get(%d) = (%d,%v)", k, v, ok)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Size() != workers*per {
+		t.Fatalf("size = %d, want %d", m.Size(), workers*per)
+	}
+	count := 0
+	m.ForEach(func(int, int) bool {
+		count++
+		return true
+	})
+	if count != workers*per {
+		t.Fatalf("ForEach visited %d", count)
+	}
+}
+
+func TestSyncMapAtomicallyComposes(t *testing.T) {
+	m := NewSyncMap[int, int](collections.NewHashMap[int, int]())
+	m.Put(0, 1)
+	m.Put(1, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			m.Atomically(func(mm collections.Map[int, int]) {
+				a, _ := mm.Get(0)
+				b, _ := mm.Get(1)
+				mm.Put(0, b)
+				mm.Put(1, a)
+			})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ok := false
+			m.Atomically(func(mm collections.Map[int, int]) {
+				a, _ := mm.Get(0)
+				b, _ := mm.Get(1)
+				ok = a+b == 1
+			})
+			if !ok {
+				t.Error("torn compound state")
+				return
+			}
+		}
+	}()
+	// Let the mover finish, then stop the checker.
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	// The mover always finishes; the checker needs the stop signal.
+	// Close stop once the mover's 500 iterations are plausibly done.
+	close(stop)
+	<-wgDone
+}
+
+func TestSyncSortedMapNavigation(t *testing.T) {
+	m := NewSyncSortedMap[int, string](collections.NewTreeMap[int, string]())
+	m.Put(2, "b")
+	m.Put(1, "a")
+	m.Put(3, "c")
+	if k, _ := m.FirstKey(); k != 1 {
+		t.Fatalf("first = %d", k)
+	}
+	if k, _ := m.LastKey(); k != 3 {
+		t.Fatalf("last = %d", k)
+	}
+	var got []int
+	lo, hi := 1, 3
+	m.AscendRange(&lo, &hi, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("range = %v", got)
+	}
+	if v, ok := m.Remove(2); !ok || v != "b" {
+		t.Fatalf("remove = (%q,%v)", v, ok)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("size = %d", m.Size())
+	}
+}
+
+func TestSyncQueueConcurrent(t *testing.T) {
+	q := NewSyncQueue[int](collections.NewLinkedQueue[int]())
+	var wg sync.WaitGroup
+	const producers, per = 4, 100
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(p*per + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if q.Size() != producers*per {
+		t.Fatalf("size = %d", q.Size())
+	}
+	seen := map[int]bool{}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("drained %d", len(seen))
+	}
+}
+
+func TestSyncMapContainsAndRemove(t *testing.T) {
+	m := NewSyncMap[string, int](collections.NewHashMap[string, int]())
+	m.Put("a", 1)
+	if !m.ContainsKey("a") || m.ContainsKey("b") {
+		t.Fatal("containsKey wrong")
+	}
+	if v, ok := m.Remove("a"); !ok || v != 1 {
+		t.Fatalf("remove = (%d,%v)", v, ok)
+	}
+	if m.ContainsKey("a") {
+		t.Fatal("removed key present")
+	}
+}
+
+func TestSyncSortedMapGetAndAtomically(t *testing.T) {
+	m := NewSyncSortedMap[int, int](collections.NewTreeMap[int, int]())
+	m.Put(1, 10)
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("get = (%d,%v)", v, ok)
+	}
+	m.Atomically(func(mm collections.SortedMap[int, int]) {
+		mm.Put(2, 20)
+		mm.Put(3, 30)
+	})
+	if m.Size() != 3 {
+		t.Fatalf("size = %d", m.Size())
+	}
+}
+
+func TestSyncQueuePeek(t *testing.T) {
+	q := NewSyncQueue[int](collections.NewLinkedQueue[int]())
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	q.Enqueue(7)
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("peek = (%d,%v)", v, ok)
+	}
+	if q.Size() != 1 {
+		t.Fatal("peek consumed the element")
+	}
+}

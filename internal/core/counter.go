@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+
+	"tcc/internal/stm"
+)
+
+// Counter is a shared counter updated through open-nested transactions
+// with compensation, the paper's "global counter" reduced-isolation
+// example (§1, §6.3): increments become globally visible immediately —
+// so concurrent incrementing transactions never conflict — and an abort
+// handler subtracts the transaction's contribution on rollback.
+// Serializability of reads is deliberately forgone: Get returns the
+// instantaneous value, which may include increments of transactions
+// that later abort.
+type Counter struct {
+	mu    sync.Mutex
+	value int64
+}
+
+// counterLocal accumulates one transaction's net contribution so a
+// single abort handler can compensate for all of it.
+type counterLocal struct {
+	delta int64
+}
+
+// NewCounter creates a counter with an initial value.
+func NewCounter(initial int64) *Counter { return &Counter{value: initial} }
+
+func (c *Counter) local(tx *stm.Tx) *counterLocal {
+	if l, ok := tx.Local(c).(*counterLocal); ok {
+		return l
+	}
+	l := &counterLocal{}
+	tx.SetLocal(c, l)
+	tx.OnTopAbort(func() {
+		c.mu.Lock()
+		c.value -= l.delta
+		c.mu.Unlock()
+	})
+	return l
+}
+
+// Add applies delta immediately (open-nested update with compensation
+// on abort).
+func (c *Counter) Add(tx *stm.Tx, delta int64) {
+	l := c.local(tx)
+	_ = tx.Open(func(o *stm.Tx) error {
+		c.mu.Lock()
+		c.value += delta
+		c.mu.Unlock()
+		return nil
+	})
+	l.delta += delta
+	tx.Thread().Clock.Tick(8)
+}
+
+// Get returns the instantaneous value (reduced isolation: no lock, no
+// conflict).
+func (c *Counter) Get(tx *stm.Tx) int64 {
+	var v int64
+	_ = tx.Open(func(o *stm.Tx) error {
+		c.mu.Lock()
+		v = c.value
+		c.mu.Unlock()
+		return nil
+	})
+	tx.Thread().Clock.Tick(4)
+	return v
+}
+
+// Value returns the committed value outside any transaction.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// UIDGen generates unique, monotonically increasing identifiers inside
+// transactions without creating conflicts — the paper's UID example and
+// the main fix behind the "Atomos Open" SPECjbb configuration (§6.3,
+// District.nextOrder). Identifiers handed to transactions that later
+// abort are simply skipped, the classic monotonic-identifier trade-off
+// between isolation and serializability the database literature
+// describes: uniqueness and monotonicity hold, density does not.
+type UIDGen struct {
+	mu   sync.Mutex
+	next int64
+}
+
+// NewUIDGen creates a generator whose first identifier is start.
+func NewUIDGen(start int64) *UIDGen { return &UIDGen{next: start} }
+
+// Next returns a fresh identifier, immediately and irrevocably (no
+// compensation on abort — see the type comment).
+func (g *UIDGen) Next(tx *stm.Tx) int64 {
+	var id int64
+	_ = tx.Open(func(o *stm.Tx) error {
+		g.mu.Lock()
+		id = g.next
+		g.next++
+		g.mu.Unlock()
+		return nil
+	})
+	tx.Thread().Clock.Tick(8)
+	return id
+}
+
+// Current returns the next identifier that would be handed out, without
+// consuming it and without taking any lock — a reduced-isolation read
+// like Counter.Get. TPC-C's Stock-Level transaction uses exactly this
+// (reading D_NEXT_O_ID to bound its scan of recent orders), and because
+// the read creates no dependency it never conflicts with concurrent
+// Next calls.
+func (g *UIDGen) Current(tx *stm.Tx) int64 {
+	var v int64
+	_ = tx.Open(func(o *stm.Tx) error {
+		g.mu.Lock()
+		v = g.next
+		g.mu.Unlock()
+		return nil
+	})
+	tx.Thread().Clock.Tick(4)
+	return v
+}
+
+// Peek returns the next identifier that would be handed out, outside
+// any transaction.
+func (g *UIDGen) Peek() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.next
+}

@@ -1,0 +1,543 @@
+// Package core implements the paper's contribution: transactional
+// collection classes. They wrap existing, non-thread-safe collection
+// implementations (internal/collections) and make them usable from
+// long-running transactions without the unnecessary memory-level
+// conflicts that wreck scalability when such structures are accessed
+// directly inside transactions.
+//
+// The construction follows the paper's §5 guidelines exactly:
+//
+//   - The underlying structure is read only inside open-nested regions
+//     that also take the appropriate semantic locks (key, size, empty,
+//     range, first/last — Tables 2, 5, 8).
+//   - Write operations never touch the underlying structure; they buffer
+//     into transaction-local state (storeBuffer, addBuffer — Tables 3,
+//     6, 9).
+//   - A single commit handler per (transaction, collection), registered
+//     by the first operation, applies the buffer, violates transactions
+//     holding conflicting semantic locks, and releases this
+//     transaction's locks.
+//   - A single abort handler releases locks and discards buffers
+//     (compensation for the open-nested lock acquisitions).
+//
+// The open-nested regions execute as tx.Open children whose body is a
+// short critical section on the instance's mutex; this is the
+// substitution for the paper's low-level open-nested hardware
+// transactions described in DESIGN.md §4 — immediate global visibility,
+// compensation via abort handlers, and lock ownership by the top-level
+// transaction are all preserved.
+//
+// Caveat, matching the paper's single-handler design choice (§5.1
+// "Single versus multiple handlers"): collection operations performed
+// inside a closed-nested child are merged into the transaction's one
+// buffer, so they are rolled back correctly when the whole transaction
+// aborts, but a closed-nested child that aborts and retries *after*
+// performing collection operations does not unwind those buffered
+// operations. Perform collection operations in the transaction body (as
+// the paper's benchmarks do), not in partially-rolled-back children.
+package core
+
+import (
+	"sync"
+
+	"tcc/internal/collections"
+	"tcc/internal/semlock"
+	"tcc/internal/stm"
+)
+
+// DefaultOpCost is the abstract cycle cost charged per collection
+// operation (the open-nested critical section's work), calibrated to be
+// comparable with the lock-based baseline's per-operation cost so that
+// single-CPU runtimes of the configurations in the paper's figures are
+// commensurable.
+const DefaultOpCost = 40
+
+// mapWrite is one buffered write in the storeBuffer (Table 3: "map of
+// keys to new values, special value for removed keys").
+type mapWrite[V any] struct {
+	val     V
+	removed bool
+	// knownCommitted records whether the key was present in the
+	// committed map when this transaction read it under its key lock;
+	// nil for blind writes (PutUnread/RemoveUnread), which defer the
+	// presence question — and hence their size contribution — until
+	// Size/IsEmpty resolves it or commit applies it.
+	knownCommitted *bool
+}
+
+// mapLocal is the transaction-local state of Table 3 (and, for sorted
+// maps, Table 6): the locks this transaction holds on this instance and
+// the write buffer.
+type mapLocal[K comparable, V any] struct {
+	keyLocks    map[K]struct{}
+	sizeLocked  bool
+	emptyLocked bool
+	firstLocked bool
+	lastLocked  bool
+	rangeLocks  []*semlock.RangeEntry[K]
+	storeBuffer map[K]*mapWrite[V]
+	// sortedKeys is Table 6's sortedStoreBuffer: for sorted maps, the
+	// buffered keys in comparator order, so iterators and navigation
+	// queries enumerate local changes ordered instead of scanning the
+	// buffer (values and removal markers stay in storeBuffer).
+	sortedKeys *collections.TreeMap[K, struct{}]
+}
+
+// bufferKey records k in the buffer index (no-op for unsorted maps).
+func (l *mapLocal[K, V]) bufferKey(k K) {
+	if l.sortedKeys != nil {
+		l.sortedKeys.Put(k, struct{}{})
+	}
+}
+
+// sortedExt carries the extra shared state of TransactionalSortedMap
+// (Table 6): the sorted view of the wrapped map and the range and
+// endpoint lock tables.
+type sortedExt[K comparable, V any] struct {
+	sm           collections.SortedMap[K, V]
+	rangeLockers *semlock.RangeTable[K]
+	firstLockers *semlock.OwnerSet
+	lastLockers  *semlock.OwnerSet
+}
+
+// TransactionalMap wraps any collections.Map and provides concurrent,
+// atomically composable access from transactions, using semantic
+// concurrency control instead of memory-level dependencies (paper
+// §3.1). It offers the same operations as the underlying Map interface
+// and can serve as a drop-in replacement.
+type TransactionalMap[K comparable, V any] struct {
+	// mu guards the wrapped map and the lock tables; every critical
+	// section is short and never blocks on other instances, playing the
+	// role of the paper's low-level open-nested transactions.
+	mu sync.Mutex
+	// m holds the committed state (Table 3: "the underlying Map
+	// instance").
+	m collections.Map[K, V]
+	// key2lockers and sizeLockers are the shared transaction state of
+	// Table 3; emptyLockers implements the §5.1 isEmpty refinement.
+	key2lockers  *semlock.KeyTable[K]
+	sizeLockers  *semlock.OwnerSet
+	emptyLockers *semlock.OwnerSet
+	// isEmptyViaSize makes IsEmpty take the size lock instead of the
+	// empty-transition lock, reproducing the §5.1 ablation.
+	isEmptyViaSize bool
+	// eagerWriteCheck switches write operations to pessimistic conflict
+	// detection (§5.1 "Alternatives to optimistic concurrency
+	// control"): Put/Remove violate conflicting key-lock holders when
+	// the operation is first performed instead of waiting until commit.
+	// Conflicts surface earlier (less lost work for the writer) at the
+	// price of aborting readers that might otherwise have committed
+	// before the writer.
+	eagerWriteCheck bool
+	// opCost is the abstract cycle cost per operation.
+	opCost uint64
+	// name labels this instance in violation reasons, so lost-work
+	// profiles attribute conflicts to specific structures (the paper's
+	// TAPE-style analysis names District.orderTable etc.).
+	name string
+	// Precomputed violation reasons.
+	reasonKey, reasonSize, reasonEmpty   string
+	reasonRange, reasonFirst, reasonLast string
+	// sorted is non-nil when this instance is a TransactionalSortedMap.
+	sorted *sortedExt[K, V]
+}
+
+// NewTransactionalMap wraps m. The wrapper assumes exclusive ownership:
+// all subsequent access must go through the wrapper.
+func NewTransactionalMap[K comparable, V any](m collections.Map[K, V]) *TransactionalMap[K, V] {
+	tm := &TransactionalMap[K, V]{
+		m:            m,
+		key2lockers:  semlock.NewKeyTable[K](),
+		sizeLockers:  semlock.NewOwnerSet(),
+		emptyLockers: semlock.NewOwnerSet(),
+		opCost:       DefaultOpCost,
+	}
+	tm.SetName("map")
+	return tm
+}
+
+// SetName labels this instance in violation reasons so conflict
+// profiles (harness.FormatViolationProfile) attribute lost work to
+// specific structures.
+func (tm *TransactionalMap[K, V]) SetName(name string) {
+	tm.name = name
+	tm.reasonKey = name + ": key conflict"
+	tm.reasonSize = name + ": size conflict"
+	tm.reasonEmpty = name + ": emptiness conflict"
+	tm.reasonRange = name + ": range conflict"
+	tm.reasonFirst = name + ": first-key conflict"
+	tm.reasonLast = name + ": last-key conflict"
+}
+
+// Name returns the label set by SetName.
+func (tm *TransactionalMap[K, V]) Name() string { return tm.name }
+
+// SetOpCost overrides the abstract cycle cost charged per operation.
+func (tm *TransactionalMap[K, V]) SetOpCost(c uint64) { tm.opCost = c }
+
+// SetIsEmptyViaSize toggles the §5.1 ablation: when true, IsEmpty takes
+// the size lock (conflicting with any size change) instead of the
+// dedicated empty-transition lock.
+func (tm *TransactionalMap[K, V]) SetIsEmptyViaSize(v bool) { tm.isEmptyViaSize = v }
+
+// SetEagerWriteCheck toggles pessimistic write-conflict detection (the
+// §5.1 alternative): writes abort conflicting readers at operation time
+// rather than at commit.
+func (tm *TransactionalMap[K, V]) SetEagerWriteCheck(v bool) { tm.eagerWriteCheck = v }
+
+// local returns this transaction's local state for this instance,
+// creating it — and registering the transaction's single commit and
+// abort handler pair — on first use (paper §5: "registered by the first
+// open-nested transaction to commit").
+func (tm *TransactionalMap[K, V]) local(tx *stm.Tx) *mapLocal[K, V] {
+	if l, ok := tx.Local(tm).(*mapLocal[K, V]); ok {
+		return l
+	}
+	l := &mapLocal[K, V]{
+		keyLocks:    make(map[K]struct{}),
+		storeBuffer: make(map[K]*mapWrite[V]),
+	}
+	if tm.sorted != nil {
+		l.sortedKeys = collections.NewTreeMapFunc[K, struct{}](tm.sorted.sm.Compare)
+	}
+	tx.SetLocal(tm, l)
+	h := tx.Handle()
+	th := tx.Thread()
+	tx.OnTopCommit(func() {
+		tm.mu.Lock()
+		n := len(l.storeBuffer)
+		tm.applyLocked(l, h)
+		tm.mu.Unlock()
+		th.DeferTick(tm.opCost * uint64(1+n))
+	})
+	tx.OnTopAbort(func() {
+		tm.mu.Lock()
+		tm.releaseLocked(l, h)
+		tm.mu.Unlock()
+		th.DeferTick(tm.opCost)
+	})
+	return l
+}
+
+// lockKeyLocked takes (idempotently) the key lock for k on behalf of h.
+// Caller holds tm.mu.
+func (tm *TransactionalMap[K, V]) lockKeyLocked(l *mapLocal[K, V], h semlock.Owner, k K) {
+	if _, ok := l.keyLocks[k]; ok {
+		return
+	}
+	tm.key2lockers.Lock(k, h)
+	l.keyLocks[k] = struct{}{}
+}
+
+// Get returns the value mapped to k as seen by tx: the transaction's
+// own buffered write if any, otherwise the committed value read under a
+// key lock inside an open-nested region (Table 2: get takes a "key lock
+// on argument").
+func (tm *TransactionalMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	l := tm.local(tx)
+	if w, ok := l.storeBuffer[k]; ok {
+		if w.removed {
+			var zero V
+			return zero, false
+		}
+		return w.val, true
+	}
+	var v V
+	var present bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		tm.mu.Lock()
+		defer tm.mu.Unlock()
+		tm.lockKeyLocked(l, o.Handle(), k)
+		v, present = tm.m.Get(k)
+		return nil
+	})
+	tx.Thread().Clock.Tick(tm.opCost)
+	return v, present
+}
+
+// ContainsKey reports whether k is mapped, taking the same key lock as
+// Get.
+func (tm *TransactionalMap[K, V]) ContainsKey(tx *stm.Tx, k K) bool {
+	_, ok := tm.Get(tx, k)
+	return ok
+}
+
+// Put buffers a mapping of k to v and returns the previous value.
+// Because it returns the old value it logically includes a read, so it
+// takes the key lock (Table 2); the actual update is deferred to the
+// commit handler. Use PutUnread when the old value is not needed — it
+// creates no read dependency (§5.1 "Extensions to java.util.Map").
+func (tm *TransactionalMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
+	l := tm.local(tx)
+	if w, ok := l.storeBuffer[k]; ok {
+		var old V
+		had := !w.removed
+		if had {
+			old = w.val
+		}
+		w.val, w.removed = v, false
+		return old, had
+	}
+	old, had := tm.readCommittedWrite(tx, l, k, true)
+	kc := had
+	l.storeBuffer[k] = &mapWrite[V]{val: v, knownCommitted: &kc}
+	l.bufferKey(k)
+	return old, had
+}
+
+// PutUnread buffers a mapping of k to v without reading or locking the
+// old value: two transactions blindly writing the same key commute and
+// may commit in either order (the paper's "LastModified" example).
+func (tm *TransactionalMap[K, V]) PutUnread(tx *stm.Tx, k K, v V) {
+	l := tm.local(tx)
+	if w, ok := l.storeBuffer[k]; ok {
+		w.val, w.removed = v, false
+		return
+	}
+	l.storeBuffer[k] = &mapWrite[V]{val: v}
+	l.bufferKey(k)
+	tx.Thread().Clock.Tick(tm.opCost / 4)
+}
+
+// Remove buffers a removal of k and returns the removed value, taking a
+// key lock for the read it implies.
+func (tm *TransactionalMap[K, V]) Remove(tx *stm.Tx, k K) (V, bool) {
+	l := tm.local(tx)
+	var zero V
+	if w, ok := l.storeBuffer[k]; ok {
+		var old V
+		had := !w.removed
+		if had {
+			old = w.val
+		}
+		w.val, w.removed = zero, true
+		return old, had
+	}
+	old, had := tm.readCommittedWrite(tx, l, k, true)
+	kc := had
+	l.storeBuffer[k] = &mapWrite[V]{removed: true, knownCommitted: &kc}
+	l.bufferKey(k)
+	return old, had
+}
+
+// RemoveUnread buffers a removal of k without reading the old value.
+func (tm *TransactionalMap[K, V]) RemoveUnread(tx *stm.Tx, k K) {
+	l := tm.local(tx)
+	var zero V
+	if w, ok := l.storeBuffer[k]; ok {
+		w.val, w.removed = zero, true
+		return
+	}
+	l.storeBuffer[k] = &mapWrite[V]{removed: true}
+	l.bufferKey(k)
+	tx.Thread().Clock.Tick(tm.opCost / 4)
+}
+
+// PutAll buffers every mapping of src (a derivative operation built on
+// Put, as in the paper's primitive/derivative categorization).
+func (tm *TransactionalMap[K, V]) PutAll(tx *stm.Tx, src map[K]V) {
+	for k, v := range src {
+		tm.Put(tx, k, v)
+	}
+}
+
+// readCommitted reads k's committed mapping under its key lock. For
+// write operations (forWrite), the eager-write-check ablation also
+// performs the key-conflict detection immediately.
+func (tm *TransactionalMap[K, V]) readCommitted(tx *stm.Tx, l *mapLocal[K, V], k K) (V, bool) {
+	return tm.readCommittedWrite(tx, l, k, false)
+}
+
+func (tm *TransactionalMap[K, V]) readCommittedWrite(tx *stm.Tx, l *mapLocal[K, V], k K, forWrite bool) (V, bool) {
+	var v V
+	var present bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		tm.mu.Lock()
+		defer tm.mu.Unlock()
+		h := o.Handle()
+		tm.lockKeyLocked(l, h, k)
+		if forWrite && tm.eagerWriteCheck {
+			tm.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+		}
+		v, present = tm.m.Get(k)
+		return nil
+	})
+	tx.Thread().Clock.Tick(tm.opCost)
+	return v, present
+}
+
+// resolveBlindLocked pins down the committed presence of every blindly
+// written key (taking its key lock) so the buffer's net size effect is
+// well defined. Caller holds tm.mu.
+func (tm *TransactionalMap[K, V]) resolveBlindLocked(l *mapLocal[K, V], h semlock.Owner) {
+	for k, w := range l.storeBuffer {
+		if w.knownCommitted == nil {
+			tm.lockKeyLocked(l, h, k)
+			p := tm.m.ContainsKey(k)
+			w.knownCommitted = &p
+		}
+	}
+}
+
+// deltaLocked is the Table 3 delta: the buffer's net change to the
+// map's size. Caller holds tm.mu and has resolved blind writes.
+func (tm *TransactionalMap[K, V]) deltaLocked(l *mapLocal[K, V]) int {
+	d := 0
+	for _, w := range l.storeBuffer {
+		if w.removed {
+			if *w.knownCommitted {
+				d--
+			}
+		} else if !*w.knownCommitted {
+			d++
+		}
+	}
+	return d
+}
+
+// Size returns the number of mappings as seen by tx: the committed size
+// plus the buffer's delta. It takes the size lock, so any committing
+// transaction that changes the size aborts this one (Table 2).
+func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
+	l := tm.local(tx)
+	n := 0
+	_ = tx.Open(func(o *stm.Tx) error {
+		tm.mu.Lock()
+		defer tm.mu.Unlock()
+		h := o.Handle()
+		tm.sizeLockers.Lock(h)
+		l.sizeLocked = true
+		tm.resolveBlindLocked(l, h)
+		n = tm.m.Size() + tm.deltaLocked(l)
+		return nil
+	})
+	tx.Thread().Clock.Tick(tm.opCost)
+	return n
+}
+
+// IsEmpty reports whether the map is empty. As the paper's §5.1
+// discussion prescribes, it is a primitive operation with its own
+// empty-transition lock: it conflicts only with commits that change
+// emptiness, not with every size change, so two transactions running
+// "if !m.IsEmpty() { m.Put(...) }" on a non-empty map commute.
+func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
+	if tm.isEmptyViaSize {
+		return tm.Size(tx) == 0
+	}
+	l := tm.local(tx)
+	n := 0
+	_ = tx.Open(func(o *stm.Tx) error {
+		tm.mu.Lock()
+		defer tm.mu.Unlock()
+		h := o.Handle()
+		tm.emptyLockers.Lock(h)
+		l.emptyLocked = true
+		tm.resolveBlindLocked(l, h)
+		n = tm.m.Size() + tm.deltaLocked(l)
+		return nil
+	})
+	tx.Thread().Clock.Tick(tm.opCost)
+	return n == 0
+}
+
+// applyLocked is the commit handler's body: apply the buffer to the
+// underlying map, violate conflicting semantic lock holders (Table 2's
+// "Write Conflict" column), and release this transaction's locks.
+// Caller holds tm.mu.
+func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner) {
+	oldSize := tm.m.Size()
+	var oldFirst, oldLast *K
+	if tm.sorted != nil && len(l.storeBuffer) > 0 {
+		oldFirst, oldLast = tm.endpointsLocked()
+	}
+	for k, w := range l.storeBuffer {
+		// Key conflict based on argument: abort every other reader (or
+		// locking writer) of this key.
+		tm.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+		var membershipChanged bool
+		if w.removed {
+			_, had := tm.m.Remove(k)
+			membershipChanged = had
+		} else {
+			_, had := tm.m.Put(k, w.val)
+			membershipChanged = !had
+		}
+		if tm.sorted != nil && membershipChanged {
+			// Range conflict: the key entered or left an iterated range.
+			tm.sorted.rangeLockers.ViolateCovering(k, h, tm.reasonRange)
+		}
+	}
+	newSize := tm.m.Size()
+	if newSize != oldSize {
+		tm.sizeLockers.ViolateOthers(h, tm.reasonSize)
+	}
+	if (oldSize == 0) != (newSize == 0) {
+		tm.emptyLockers.ViolateOthers(h, tm.reasonEmpty)
+	}
+	if tm.sorted != nil && len(l.storeBuffer) > 0 {
+		newFirst, newLast := tm.endpointsLocked()
+		if !tm.sameKey(oldFirst, newFirst) {
+			tm.sorted.firstLockers.ViolateOthers(h, tm.reasonFirst)
+		}
+		if !tm.sameKey(oldLast, newLast) {
+			tm.sorted.lastLockers.ViolateOthers(h, tm.reasonLast)
+		}
+	}
+	tm.releaseLocked(l, h)
+}
+
+// endpointsLocked returns the committed first and last keys (nil when
+// the map is empty). Caller holds tm.mu; only valid for sorted maps.
+func (tm *TransactionalMap[K, V]) endpointsLocked() (first, last *K) {
+	if f, ok := tm.sorted.sm.FirstKey(); ok {
+		first = &f
+	}
+	if lst, ok := tm.sorted.sm.LastKey(); ok {
+		last = &lst
+	}
+	return
+}
+
+func (tm *TransactionalMap[K, V]) sameKey(a, b *K) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return tm.sorted.sm.Compare(*a, *b) == 0
+}
+
+// releaseLocked releases every semantic lock held by this transaction
+// on this instance and clears its local state; it is both the tail of
+// the commit handler and the whole of the abort handler. Caller holds
+// tm.mu.
+func (tm *TransactionalMap[K, V]) releaseLocked(l *mapLocal[K, V], h semlock.Owner) {
+	for k := range l.keyLocks {
+		tm.key2lockers.Unlock(k, h)
+	}
+	if l.sizeLocked {
+		tm.sizeLockers.Unlock(h)
+	}
+	if l.emptyLocked {
+		tm.emptyLockers.Unlock(h)
+	}
+	if tm.sorted != nil {
+		for _, e := range l.rangeLocks {
+			tm.sorted.rangeLockers.Remove(e)
+		}
+		if l.firstLocked {
+			tm.sorted.firstLockers.Unlock(h)
+		}
+		if l.lastLocked {
+			tm.sorted.lastLockers.Unlock(h)
+		}
+	}
+	l.keyLocks = make(map[K]struct{})
+	l.storeBuffer = make(map[K]*mapWrite[V])
+	if l.sortedKeys != nil {
+		l.sortedKeys.Clear()
+	}
+	l.rangeLocks = nil
+	l.sizeLocked, l.emptyLocked, l.firstLocked, l.lastLocked = false, false, false, false
+}

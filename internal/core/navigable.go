@@ -1,0 +1,163 @@
+package core
+
+// NavigableMap queries for TransactionalSortedMap: CeilingKey,
+// HigherKey, FloorKey and LowerKey (the java.util.NavigableMap
+// extension that paper §2.2 notes ConcurrentSkipListMap implements).
+//
+// These are not in the paper's Table 5, so we derive their locks by the
+// paper's own methodology (§3.1's categorization): a navigation query
+// observes more than its result key — it observes the *absence of any
+// key in the gap* between the probe and the result. CeilingKey(k) = r
+// therefore takes a key lock on r plus a range lock over [k, r] (the
+// committing insert of any key in between, or the removal of r, must
+// abort the reader); a query with no result locks the unbounded tail
+// (or head) it proved empty. The strict variants exclude the probe
+// endpoint, so a write exactly at the probe commutes.
+
+import (
+	"tcc/internal/semlock"
+	"tcc/internal/stm"
+)
+
+// mergedCeilingLocked returns the smallest live key >= k (> k when
+// strict), merging committed state (skipping buffered removals) with
+// buffered additions. Caller holds t.mu.
+func (t *TransactionalSortedMap[K, V]) mergedCeilingLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
+	sm := t.sorted.sm
+	var committed *K
+	var c K
+	var ok bool
+	if strict {
+		c, ok = sm.HigherKey(k)
+	} else {
+		c, ok = sm.CeilingKey(k)
+	}
+	for ok {
+		if w, buffered := l.storeBuffer[c]; buffered && w.removed {
+			c, ok = sm.HigherKey(c)
+			continue
+		}
+		cc := c
+		committed = &cc
+		break
+	}
+	best := committed
+	if bk, bok := t.bufferCeilingLocked(l, &k, strict); bok {
+		if best == nil || sm.Compare(bk, *best) < 0 {
+			best = &bk
+		}
+	}
+	if best == nil {
+		var zero K
+		return zero, false
+	}
+	return *best, true
+}
+
+// mergedFloorLocked is the descending mirror. Caller holds t.mu.
+func (t *TransactionalSortedMap[K, V]) mergedFloorLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
+	sm := t.sorted.sm
+	var committed *K
+	var c K
+	var ok bool
+	if strict {
+		c, ok = sm.LowerKey(k)
+	} else {
+		c, ok = sm.FloorKey(k)
+	}
+	for ok {
+		if w, buffered := l.storeBuffer[c]; buffered && w.removed {
+			c, ok = sm.LowerKey(c)
+			continue
+		}
+		cc := c
+		committed = &cc
+		break
+	}
+	best := committed
+	if bk, bok := t.bufferFloorLocked(l, &k, strict); bok {
+		if best == nil || sm.Compare(bk, *best) > 0 {
+			best = &bk
+		}
+	}
+	if best == nil {
+		var zero K
+		return zero, false
+	}
+	return *best, true
+}
+
+// navigateUp implements CeilingKey/HigherKey with gap locking.
+func (t *TransactionalSortedMap[K, V]) navigateUp(tx *stm.Tx, k K, strict bool) (K, bool) {
+	l := t.local(tx)
+	var res K
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		h := o.Handle()
+		res, ok = t.mergedCeilingLocked(l, k, strict)
+		lo := k
+		e := &semlock.RangeEntry[K]{Lo: &lo, LoExcl: strict, Owner: h}
+		if ok {
+			hi := res
+			e.Hi = &hi // [k, res]: the observed gap plus the result
+			t.lockKeyLocked(l, h, res)
+		}
+		// No result: the whole tail [k, +inf) was observed empty; the
+		// unbounded range lock protects that observation.
+		t.sorted.rangeLockers.Add(e)
+		l.rangeLocks = append(l.rangeLocks, e)
+		return nil
+	})
+	tx.Thread().Clock.Tick(t.opCost)
+	return res, ok
+}
+
+// navigateDown implements FloorKey/LowerKey with gap locking.
+func (t *TransactionalSortedMap[K, V]) navigateDown(tx *stm.Tx, k K, strict bool) (K, bool) {
+	l := t.local(tx)
+	var res K
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		h := o.Handle()
+		res, ok = t.mergedFloorLocked(l, k, strict)
+		hi := k
+		e := &semlock.RangeEntry[K]{Hi: &hi, HiExcl: strict, Owner: h}
+		if ok {
+			lo := res
+			e.Lo = &lo // [res, k]
+			t.lockKeyLocked(l, h, res)
+		}
+		t.sorted.rangeLockers.Add(e)
+		l.rangeLocks = append(l.rangeLocks, e)
+		return nil
+	})
+	tx.Thread().Clock.Tick(t.opCost)
+	return res, ok
+}
+
+// CeilingKey returns the smallest key >= k as seen by tx, locking the
+// result key and the gap [k, result] it observed.
+func (t *TransactionalSortedMap[K, V]) CeilingKey(tx *stm.Tx, k K) (K, bool) {
+	return t.navigateUp(tx, k, false)
+}
+
+// HigherKey returns the smallest key > k as seen by tx; a concurrent
+// write exactly at k does not conflict.
+func (t *TransactionalSortedMap[K, V]) HigherKey(tx *stm.Tx, k K) (K, bool) {
+	return t.navigateUp(tx, k, true)
+}
+
+// FloorKey returns the largest key <= k as seen by tx, locking the
+// result key and the gap [result, k].
+func (t *TransactionalSortedMap[K, V]) FloorKey(tx *stm.Tx, k K) (K, bool) {
+	return t.navigateDown(tx, k, false)
+}
+
+// LowerKey returns the largest key < k as seen by tx.
+func (t *TransactionalSortedMap[K, V]) LowerKey(tx *stm.Tx, k K) (K, bool) {
+	return t.navigateDown(tx, k, true)
+}

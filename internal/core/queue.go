@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+
+	"tcc/internal/collections"
+	"tcc/internal/semlock"
+	"tcc/internal/stm"
+)
+
+// TransactionalQueue wraps a Queue behind the util.concurrent Channel
+// interface (Put/Offer/Take/Poll/Peek), trading strict FIFO isolation
+// for concurrency as in paper §3.3: transactions that confine
+// themselves to Put and Take never semantically conflict (Table 7).
+//
+// Reduced isolation, by design: Take and Poll remove elements from the
+// underlying queue immediately (other transactions will not see — and
+// cannot steal — them), with an abort handler returning them on
+// rollback; Put buffers additions that a commit handler publishes. The
+// only semantic lock is the empty lock (Table 8): a transaction that
+// observed emptiness via a null Peek/Poll is aborted by a commit that
+// makes the queue non-empty.
+type TransactionalQueue[T any] struct {
+	mu sync.Mutex
+	// q holds the committed state (Table 9: "the underlying Queue
+	// instance").
+	q collections.Queue[T]
+	// emptyLockers is the shared transaction state of Table 9.
+	emptyLockers *semlock.OwnerSet
+	opCost       uint64
+	// name labels this instance in violation reasons.
+	name           string
+	reasonRefill   string
+	reasonNotEmpty string
+}
+
+// queueLocal is the local transaction state of Table 9.
+type queueLocal[T any] struct {
+	addBuffer    []T
+	removeBuffer []T
+	emptyLocked  bool
+}
+
+// NewTransactionalQueue wraps q; the wrapper assumes exclusive
+// ownership.
+func NewTransactionalQueue[T any](q collections.Queue[T]) *TransactionalQueue[T] {
+	tq := &TransactionalQueue[T]{
+		q:            q,
+		emptyLockers: semlock.NewOwnerSet(),
+		opCost:       DefaultOpCost,
+	}
+	tq.SetName("queue")
+	return tq
+}
+
+// SetName labels this instance in violation reasons for lost-work
+// profiles.
+func (tq *TransactionalQueue[T]) SetName(name string) {
+	tq.name = name
+	tq.reasonNotEmpty = name + ": no longer empty"
+	tq.reasonRefill = name + ": refilled on abort"
+}
+
+// Name returns the label set by SetName.
+func (tq *TransactionalQueue[T]) Name() string { return tq.name }
+
+// SetOpCost overrides the abstract cycle cost charged per operation.
+func (tq *TransactionalQueue[T]) SetOpCost(c uint64) { tq.opCost = c }
+
+func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
+	if l, ok := tx.Local(tq).(*queueLocal[T]); ok {
+		return l
+	}
+	l := &queueLocal[T]{}
+	tx.SetLocal(tq, l)
+	h := tx.Handle()
+	th := tx.Thread()
+	tx.OnTopCommit(func() {
+		tq.mu.Lock()
+		wasEmpty := tq.q.Size() == 0
+		for _, v := range l.addBuffer {
+			tq.q.Enqueue(v)
+		}
+		if wasEmpty && len(l.addBuffer) > 0 {
+			// Table 8: put's write conflict fires "if now non-empty".
+			tq.emptyLockers.ViolateOthers(h, tq.reasonNotEmpty)
+		}
+		if l.emptyLocked {
+			tq.emptyLockers.Unlock(h)
+		}
+		n := len(l.addBuffer)
+		l.addBuffer, l.removeBuffer, l.emptyLocked = nil, nil, false
+		tq.mu.Unlock()
+		th.DeferTick(tq.opCost * uint64(1+n))
+	})
+	tx.OnTopAbort(func() {
+		tq.mu.Lock()
+		wasEmpty := tq.q.Size() == 0
+		// Compensation: return everything this transaction dequeued.
+		for _, v := range l.removeBuffer {
+			tq.q.Enqueue(v)
+		}
+		if wasEmpty && len(l.removeBuffer) > 0 {
+			tq.emptyLockers.ViolateOthers(h, tq.reasonRefill)
+		}
+		if l.emptyLocked {
+			tq.emptyLockers.Unlock(h)
+		}
+		n := len(l.removeBuffer)
+		l.addBuffer, l.removeBuffer, l.emptyLocked = nil, nil, false
+		tq.mu.Unlock()
+		th.DeferTick(tq.opCost * uint64(1+n))
+	})
+	return l
+}
+
+// Put enqueues v when the transaction commits. Put never semantically
+// conflicts with other Put or Take operations (Table 7).
+func (tq *TransactionalQueue[T]) Put(tx *stm.Tx, v T) {
+	l := tq.local(tx)
+	l.addBuffer = append(l.addBuffer, v)
+	tx.Thread().Clock.Tick(tq.opCost / 4)
+}
+
+// Offer is Put for an unbounded queue; it always reports acceptance
+// (the Channel interface's non-blocking insert).
+func (tq *TransactionalQueue[T]) Offer(tx *stm.Tx, v T) bool {
+	tq.Put(tx, v)
+	return true
+}
+
+// tryDequeue removes one element visible to tx: preferentially from the
+// committed queue (recording it for compensation on abort), else from
+// the transaction's own uncommitted additions.
+func (tq *TransactionalQueue[T]) tryDequeue(tx *stm.Tx, l *queueLocal[T], lockIfEmpty bool) (T, bool) {
+	var out T
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		tq.mu.Lock()
+		defer tq.mu.Unlock()
+		if v, got := tq.q.Dequeue(); got {
+			l.removeBuffer = append(l.removeBuffer, v)
+			out, ok = v, true
+			return nil
+		}
+		if len(l.addBuffer) > 0 {
+			out, ok = l.addBuffer[0], true
+			l.addBuffer = l.addBuffer[1:]
+			return nil
+		}
+		if lockIfEmpty {
+			tq.emptyLockers.Lock(o.Handle())
+			l.emptyLocked = true
+		}
+		return nil
+	})
+	tx.Thread().Clock.Tick(tq.opCost)
+	return out, ok
+}
+
+// Poll removes and returns an element, or reports false on an empty
+// queue — in which case it takes the empty lock, so a commit that makes
+// the queue non-empty aborts this transaction (Table 8: "poll: read
+// lock if empty").
+func (tq *TransactionalQueue[T]) Poll(tx *stm.Tx) (T, bool) {
+	return tq.tryDequeue(tx, tq.local(tx), true)
+}
+
+// Take removes and returns an element, spinning (with contention
+// backoff and violation polling) while the queue is empty. The caller
+// is responsible for termination: a Take with no concurrent producers
+// spins forever, so work-queue algorithms with a termination condition
+// should use Poll.
+func (tq *TransactionalQueue[T]) Take(tx *stm.Tx) T {
+	l := tq.local(tx)
+	for spin := 0; ; spin++ {
+		if v, ok := tq.tryDequeue(tx, l, false); ok {
+			return v
+		}
+		tx.Poll()
+		backoff := uint64(16)
+		if spin > 4 {
+			backoff = 256
+		}
+		tx.Thread().Clock.Wait(backoff)
+	}
+}
+
+// Peek returns the element Take would return, without removing it, or
+// reports false and takes the empty lock (Table 8: "peek: read lock if
+// empty"). Note the reduced isolation: the peeked element may be taken
+// by another transaction before this one commits.
+func (tq *TransactionalQueue[T]) Peek(tx *stm.Tx) (T, bool) {
+	l := tq.local(tx)
+	var out T
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		tq.mu.Lock()
+		defer tq.mu.Unlock()
+		if v, got := tq.q.Peek(); got {
+			out, ok = v, true
+			return nil
+		}
+		if len(l.addBuffer) > 0 {
+			out, ok = l.addBuffer[0], true
+			return nil
+		}
+		tq.emptyLockers.Lock(o.Handle())
+		l.emptyLocked = true
+		return nil
+	})
+	tx.Thread().Clock.Tick(tq.opCost)
+	return out, ok
+}
+
+// CommittedSize returns the size of the committed queue, for inspection
+// after transactions have quiesced.
+func (tq *TransactionalQueue[T]) CommittedSize() int {
+	tq.mu.Lock()
+	defer tq.mu.Unlock()
+	return tq.q.Size()
+}

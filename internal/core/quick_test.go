@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tcc/internal/stm"
+)
+
+// TestMapQuickMatchesModel is a quick-check property: any sequence of
+// operations, split arbitrarily into committed transactions, leaves the
+// TransactionalMap equal to a plain map driven by the same sequence —
+// and every operation's return value matches along the way.
+func TestMapQuickMatchesModel(t *testing.T) {
+	type qop struct {
+		Kind  uint8
+		Key   int8
+		Val   int16
+		Split bool // commit the running transaction before this op
+	}
+	prop := func(ops []qop) bool {
+		tm := newIntMap()
+		ref := map[int]int{}
+		th := stm.NewThread(&stm.RealClock{}, 3)
+		i := 0
+		okAll := true
+		for i < len(ops) {
+			err := th.Atomic(func(tx *stm.Tx) error {
+				for ; i < len(ops); i++ {
+					op := ops[i]
+					if op.Split && i > 0 {
+						i++
+						return nil // commit here, continue in a new tx
+					}
+					k, v := int(op.Key), int(op.Val)
+					switch op.Kind % 6 {
+					case 0:
+						gotV, gotOK := tm.Get(tx, k)
+						wantV, wantOK := ref[k]
+						if gotOK != wantOK || (wantOK && gotV != wantV) {
+							okAll = false
+						}
+					case 1:
+						gotV, gotOK := tm.Put(tx, k, v)
+						wantV, wantOK := ref[k]
+						if gotOK != wantOK || (wantOK && gotV != wantV) {
+							okAll = false
+						}
+						ref[k] = v
+					case 2:
+						gotV, gotOK := tm.Remove(tx, k)
+						wantV, wantOK := ref[k]
+						if gotOK != wantOK || (wantOK && gotV != wantV) {
+							okAll = false
+						}
+						delete(ref, k)
+					case 3:
+						tm.PutUnread(tx, k, v)
+						ref[k] = v
+					case 4:
+						if tm.Size(tx) != len(ref) {
+							okAll = false
+						}
+					default:
+						if tm.IsEmpty(tx) != (len(ref) == 0) {
+							okAll = false
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		// Final committed state must equal the model.
+		finalOK := true
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			if tm.Size(tx) != len(ref) {
+				finalOK = false
+			}
+			for k, v := range ref {
+				if got, ok := tm.Get(tx, k); !ok || got != v {
+					finalOK = false
+				}
+			}
+			return nil
+		})
+		return okAll && finalOK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedQuickOrderedIteration quick-checks that for any mix of
+// committed and buffered writes, sorted iteration yields exactly the
+// model's keys in order.
+func TestSortedQuickOrderedIteration(t *testing.T) {
+	prop := func(committed []int8, buffered []int8, removed []int8) bool {
+		tm := newSorted()
+		ref := map[int]int{}
+		th := stm.NewThread(&stm.RealClock{}, 5)
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			for _, k := range committed {
+				tm.Put(tx, int(k), int(k))
+				ref[int(k)] = int(k)
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		ok := true
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			for _, k := range buffered {
+				tm.Put(tx, int(k), 1000+int(k))
+				ref[int(k)] = 1000 + int(k)
+			}
+			for _, k := range removed {
+				tm.Remove(tx, int(k))
+				delete(ref, int(k))
+			}
+			prev := -1000
+			count := 0
+			tm.ForEach(tx, func(k, v int) bool {
+				if k <= prev {
+					ok = false
+				}
+				if want, present := ref[k]; !present || want != v {
+					ok = false
+				}
+				prev = k
+				count++
+				return true
+			})
+			if count != len(ref) {
+				ok = false
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"tcc/internal/collections"
+	"tcc/internal/semlock"
+	"tcc/internal/stm"
+)
+
+// TransactionalSortedMap wraps any collections.SortedMap (typically a
+// red-black TreeMap) and extends TransactionalMap with the
+// order-dependent operations of paper §3.2 and Tables 4-6: endpoint
+// queries protected by first/last locks, ordered iteration protected by
+// expanding key-range locks, and subMap/headMap/tailMap views.
+type TransactionalSortedMap[K comparable, V any] struct {
+	TransactionalMap[K, V]
+}
+
+// NewTransactionalSortedMap wraps sm. The wrapper assumes exclusive
+// ownership of sm; the comparator is captured at construction and is
+// thereafter read-only (Table 6).
+func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, V]) *TransactionalSortedMap[K, V] {
+	t := &TransactionalSortedMap[K, V]{
+		TransactionalMap: TransactionalMap[K, V]{
+			m:            sm,
+			key2lockers:  semlock.NewKeyTable[K](),
+			sizeLockers:  semlock.NewOwnerSet(),
+			emptyLockers: semlock.NewOwnerSet(),
+			opCost:       DefaultOpCost,
+		},
+	}
+	t.sorted = &sortedExt[K, V]{
+		sm:           sm,
+		rangeLockers: semlock.NewRangeTable[K](sm.Compare),
+		firstLockers: semlock.NewOwnerSet(),
+		lastLockers:  semlock.NewOwnerSet(),
+	}
+	t.SetName("sortedmap")
+	return t
+}
+
+// Compare applies the map's comparator.
+func (t *TransactionalSortedMap[K, V]) Compare(a, b K) int { return t.sorted.sm.Compare(a, b) }
+
+// bufferCeilingLocked returns the smallest buffered non-removed key
+// >= *k (> *k when strict); k == nil starts from the buffer's minimum.
+// It walks the sortedStoreBuffer index (Table 6), skipping removal
+// markers. Caller holds t.mu.
+func (t *TransactionalSortedMap[K, V]) bufferCeilingLocked(l *mapLocal[K, V], k *K, strict bool) (K, bool) {
+	var cand K
+	var ok bool
+	switch {
+	case k == nil:
+		cand, ok = l.sortedKeys.FirstKey()
+	case strict:
+		cand, ok = l.sortedKeys.HigherKey(*k)
+	default:
+		cand, ok = l.sortedKeys.CeilingKey(*k)
+	}
+	for ok {
+		if w := l.storeBuffer[cand]; w != nil && !w.removed {
+			return cand, true
+		}
+		cand, ok = l.sortedKeys.HigherKey(cand)
+	}
+	var zero K
+	return zero, false
+}
+
+// bufferFloorLocked is the descending mirror of bufferCeilingLocked.
+func (t *TransactionalSortedMap[K, V]) bufferFloorLocked(l *mapLocal[K, V], k *K, strict bool) (K, bool) {
+	var cand K
+	var ok bool
+	switch {
+	case k == nil:
+		cand, ok = l.sortedKeys.LastKey()
+	case strict:
+		cand, ok = l.sortedKeys.LowerKey(*k)
+	default:
+		cand, ok = l.sortedKeys.FloorKey(*k)
+	}
+	for ok {
+		if w := l.storeBuffer[cand]; w != nil && !w.removed {
+			return cand, true
+		}
+		cand, ok = l.sortedKeys.LowerKey(cand)
+	}
+	var zero K
+	return zero, false
+}
+
+// mergedFirstLocked returns the smallest live key as seen by this
+// transaction: the smallest committed key that is not buffered-removed,
+// merged with the smallest buffered addition. Caller holds t.mu.
+func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, bool) {
+	sm := t.sorted.sm
+	var committed *K
+	sm.AscendRange(nil, nil, func(k K, _ V) bool {
+		if w, ok := l.storeBuffer[k]; ok && w.removed {
+			return true
+		}
+		kk := k
+		committed = &kk
+		return false
+	})
+	best := committed
+	if bk, ok := t.bufferCeilingLocked(l, nil, false); ok {
+		if best == nil || sm.Compare(bk, *best) < 0 {
+			best = &bk
+		}
+	}
+	if best == nil {
+		var zero K
+		return zero, false
+	}
+	return *best, true
+}
+
+// mergedLastLocked is the mirror of mergedFirstLocked. Caller holds
+// t.mu.
+func (t *TransactionalSortedMap[K, V]) mergedLastLocked(l *mapLocal[K, V]) (K, bool) {
+	sm := t.sorted.sm
+	var committed *K
+	k, ok := sm.LastKey()
+	for ok {
+		if w, buffered := l.storeBuffer[k]; !buffered || !w.removed {
+			kk := k
+			committed = &kk
+			break
+		}
+		k, ok = sm.LowerKey(k)
+	}
+	best := committed
+	if bk, ok := t.bufferFloorLocked(l, nil, false); ok {
+		if best == nil || sm.Compare(bk, *best) > 0 {
+			best = &bk
+		}
+	}
+	if best == nil {
+		var zero K
+		return zero, false
+	}
+	return *best, true
+}
+
+// FirstKey returns the minimum key as seen by tx, taking the first lock
+// (Table 5): a committing put or remove that changes the map's minimum
+// aborts this transaction.
+func (t *TransactionalSortedMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
+	l := t.local(tx)
+	var k K
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.sorted.firstLockers.Lock(o.Handle())
+		l.firstLocked = true
+		k, ok = t.mergedFirstLocked(l)
+		return nil
+	})
+	tx.Thread().Clock.Tick(t.opCost)
+	return k, ok
+}
+
+// LastKey returns the maximum key as seen by tx, taking the last lock.
+func (t *TransactionalSortedMap[K, V]) LastKey(tx *stm.Tx) (K, bool) {
+	l := t.local(tx)
+	var k K
+	var ok bool
+	_ = tx.Open(func(o *stm.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.sorted.lastLockers.Lock(o.Handle())
+		l.lastLocked = true
+		k, ok = t.mergedLastLocked(l)
+		return nil
+	})
+	tx.Thread().Clock.Tick(t.opCost)
+	return k, ok
+}
+
+// SortedIterator enumerates entries in key order within [lo, hi) as
+// seen by one transaction, merging committed entries with the
+// transaction's buffered writes. Per Table 5, each Next takes the key
+// lock of the returned key and widens the iterator's range lock to
+// cover everything observed so far; an iterator that starts at the
+// map's beginning also takes the first lock, and a HasNext answering
+// false takes the last lock (unbounded iterators — the answer reveals
+// what the maximum key is) or pins the range lock to the view's upper
+// bound (bounded views).
+type SortedIterator[K comparable, V any] struct {
+	t       *TransactionalSortedMap[K, V]
+	tx      *stm.Tx
+	l       *mapLocal[K, V]
+	lo, hi  *K // view bounds: lo inclusive, hi exclusive; nil = unbounded
+	last    *K // last returned key
+	lock    *semlock.RangeEntry[K]
+	pending *mapEntry[K, V]
+	done    bool
+}
+
+// Iterator creates an ascending iterator over the whole map.
+func (t *TransactionalSortedMap[K, V]) Iterator(tx *stm.Tx) *SortedIterator[K, V] {
+	return t.rangeIterator(tx, nil, nil)
+}
+
+func (t *TransactionalSortedMap[K, V]) rangeIterator(tx *stm.Tx, lo, hi *K) *SortedIterator[K, V] {
+	return &SortedIterator[K, V]{t: t, tx: tx, l: t.local(tx), lo: lo, hi: hi}
+}
+
+// advance finds the next live merged key after it.last (or from it.lo),
+// locking and recording it.
+func (it *SortedIterator[K, V]) advance() (K, V, bool) {
+	t, l := it.t, it.l
+	sm := t.sorted.sm
+	var outK K
+	var outV V
+	found := false
+	_ = it.tx.Open(func(o *stm.Tx) error {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		h := o.Handle()
+		if it.lock == nil {
+			it.lock = &semlock.RangeEntry[K]{Owner: h}
+			if it.lo != nil {
+				lo := *it.lo
+				it.lock.Lo = &lo
+				// Until a key is returned the locked range is empty:
+				// [lo, lo) — represent as Hi=lo exclusive.
+				hi := lo
+				it.lock.Hi = &hi
+				it.lock.HiExcl = true
+			} else {
+				// Iteration from the beginning reads the first key
+				// (Table 5: next takes "range lock over iterated
+				// values, first lock"). The range lock starts
+				// unbounded and is pinned to the first returned key
+				// below, within this same critical section.
+				t.sorted.firstLockers.Lock(h)
+				l.firstLocked = true
+			}
+			t.sorted.rangeLockers.Add(it.lock)
+			l.rangeLocks = append(l.rangeLocks, it.lock)
+		}
+		// Committed candidate: smallest committed key in (last, hi) —
+		// or [lo, hi) before the first return — skipping
+		// buffered-removed keys.
+		var ck *K
+		var k K
+		var ok bool
+		switch {
+		case it.last != nil:
+			k, ok = sm.HigherKey(*it.last)
+		case it.lo != nil:
+			k, ok = sm.CeilingKey(*it.lo)
+		default:
+			k, ok = sm.FirstKey()
+		}
+		for ok {
+			if w, buffered := l.storeBuffer[k]; buffered && w.removed {
+				k, ok = sm.HigherKey(k)
+				continue
+			}
+			kk := k
+			ck = &kk
+			break
+		}
+		// Buffered candidate: smallest buffered-added key in range,
+		// from the sortedStoreBuffer index.
+		var bk *K
+		var bc K
+		var bok bool
+		switch {
+		case it.last != nil:
+			bc, bok = t.bufferCeilingLocked(l, it.last, true)
+		case it.lo != nil:
+			bc, bok = t.bufferCeilingLocked(l, it.lo, false)
+		default:
+			bc, bok = t.bufferCeilingLocked(l, nil, false)
+		}
+		if bok {
+			bk = &bc
+		}
+		var next *K
+		switch {
+		case ck == nil:
+			next = bk
+		case bk == nil:
+			next = ck
+		case sm.Compare(*bk, *ck) <= 0:
+			next = bk
+		default:
+			next = ck
+		}
+		if next != nil && it.hi != nil && sm.Compare(*next, *it.hi) >= 0 {
+			next = nil
+		}
+		if next == nil {
+			return nil
+		}
+		k = *next
+		// Lock the key, widen the range lock through it, read fresh.
+		t.lockKeyLocked(l, h, k)
+		kk := k
+		it.lock.Hi = &kk
+		it.lock.HiExcl = false
+		it.last = &kk
+		if w, buffered := l.storeBuffer[k]; buffered {
+			outK, outV, found = k, w.val, true
+		} else {
+			v, _ := sm.Get(k)
+			outK, outV, found = k, v, true
+		}
+		return nil
+	})
+	it.tx.Thread().Clock.Tick(t.opCost)
+	return outK, outV, found
+}
+
+// HasNext reports whether another entry exists in the view.
+func (it *SortedIterator[K, V]) HasNext() bool {
+	if it.done {
+		return false
+	}
+	if it.pending != nil {
+		return true
+	}
+	k, v, ok := it.advance()
+	if !ok {
+		it.done = true
+		t, l := it.t, it.l
+		_ = it.tx.Open(func(o *stm.Tx) error {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			if it.hi == nil {
+				// "hasNext is false" on an unbounded iterator reveals
+				// the last key (Table 5).
+				t.sorted.lastLockers.Lock(o.Handle())
+				l.lastLocked = true
+			} else if it.lock != nil {
+				// Bounded view: the emptiness of (last, hi) was
+				// observed; pin the range lock to the view bound.
+				hi := *it.hi
+				it.lock.Hi = &hi
+				it.lock.HiExcl = true
+			} else {
+				// Nothing was ever returned and no range lock exists:
+				// lock the whole empty view.
+				e := &semlock.RangeEntry[K]{Owner: o.Handle()}
+				if it.lo != nil {
+					lo := *it.lo
+					e.Lo = &lo
+				}
+				hi := *it.hi
+				e.Hi = &hi
+				e.HiExcl = true
+				t.sorted.rangeLockers.Add(e)
+				l.rangeLocks = append(l.rangeLocks, e)
+				it.lock = e
+			}
+			return nil
+		})
+		return false
+	}
+	it.pending = &mapEntry[K, V]{Key: k, Val: v}
+	return true
+}
+
+// Next returns the next entry in key order; ok is false when exhausted.
+func (it *SortedIterator[K, V]) Next() (k K, v V, ok bool) {
+	if !it.HasNext() {
+		return k, v, false
+	}
+	e := it.pending
+	it.pending = nil
+	return e.Key, e.Val, true
+}
+
+// ForEach enumerates the whole map in key order until fn returns false.
+func (t *TransactionalSortedMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
+	it := t.Iterator(tx)
+	for {
+		k, v, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys in ascending order as seen by tx.
+func (t *TransactionalSortedMap[K, V]) Keys(tx *stm.Tx) []K {
+	var out []K
+	t.ForEach(tx, func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// SortedView is a subMap/headMap/tailMap view: the [lo, hi) slice of a
+// TransactionalSortedMap, sharing its state and locks (paper §3.2:
+// "mutable SortedMap views returned by subMap, headMap, and tailMap").
+type SortedView[K comparable, V any] struct {
+	t      *TransactionalSortedMap[K, V]
+	lo, hi *K
+}
+
+// SubMap returns the view of keys in [lo, hi).
+func (t *TransactionalSortedMap[K, V]) SubMap(lo, hi K) *SortedView[K, V] {
+	if t.sorted.sm.Compare(lo, hi) > 0 {
+		panic("core: SubMap bounds out of order")
+	}
+	return &SortedView[K, V]{t: t, lo: &lo, hi: &hi}
+}
+
+// HeadMap returns the view of keys below hi.
+func (t *TransactionalSortedMap[K, V]) HeadMap(hi K) *SortedView[K, V] {
+	return &SortedView[K, V]{t: t, hi: &hi}
+}
+
+// TailMap returns the view of keys at or above lo.
+func (t *TransactionalSortedMap[K, V]) TailMap(lo K) *SortedView[K, V] {
+	return &SortedView[K, V]{t: t, lo: &lo}
+}
+
+// inRange panics when k is outside the view, mirroring java.util's
+// IllegalArgumentException.
+func (v *SortedView[K, V]) inRange(k K) {
+	cmp := v.t.sorted.sm.Compare
+	if v.lo != nil && cmp(k, *v.lo) < 0 || v.hi != nil && cmp(k, *v.hi) >= 0 {
+		panic("core: key outside sorted view range")
+	}
+}
+
+// Get returns the value mapped to k, which must lie inside the view.
+func (v *SortedView[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	v.inRange(k)
+	return v.t.Get(tx, k)
+}
+
+// ContainsKey reports whether k (inside the view) is mapped.
+func (v *SortedView[K, V]) ContainsKey(tx *stm.Tx, k K) bool {
+	v.inRange(k)
+	return v.t.ContainsKey(tx, k)
+}
+
+// Put buffers a mapping; k must lie inside the view.
+func (v *SortedView[K, V]) Put(tx *stm.Tx, k K, val V) (V, bool) {
+	v.inRange(k)
+	return v.t.Put(tx, k, val)
+}
+
+// Remove buffers a removal; k must lie inside the view.
+func (v *SortedView[K, V]) Remove(tx *stm.Tx, k K) (V, bool) {
+	v.inRange(k)
+	return v.t.Remove(tx, k)
+}
+
+// Iterator returns an ascending iterator over the view.
+func (v *SortedView[K, V]) Iterator(tx *stm.Tx) *SortedIterator[K, V] {
+	return v.t.rangeIterator(tx, v.lo, v.hi)
+}
+
+// ForEach enumerates the view in key order until fn returns false.
+func (v *SortedView[K, V]) ForEach(tx *stm.Tx, fn func(k K, val V) bool) {
+	it := v.Iterator(tx)
+	for {
+		k, val, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !fn(k, val) {
+			return
+		}
+	}
+}
+
+// Keys returns the view's keys in ascending order.
+func (v *SortedView[K, V]) Keys(tx *stm.Tx) []K {
+	var out []K
+	v.ForEach(tx, func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}

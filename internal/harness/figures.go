@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tcc/internal/stm"
+)
+
+// DefaultCPUs is the processor sweep of the paper's figures.
+var DefaultCPUs = []int{1, 2, 4, 8, 16, 32}
+
+// Series is one configuration's line in a figure.
+type Series struct {
+	Name string
+	// Speedup maps CPU count to speedup relative to the figure's
+	// baseline (the single-CPU run of the first configuration, i.e.
+	// "the single-processor Java version" per paper §6).
+	Speedup map[int]float64
+	// Stats maps CPU count to the aggregate transaction statistics of
+	// that run, for the conflict analyses of §6.3.
+	Stats map[int]stm.Stats
+}
+
+// Figure is a full CPU sweep across configurations.
+type Figure struct {
+	Title  string
+	CPUs   []int
+	Series []Series
+}
+
+// RunFigure sweeps every configuration across the CPU counts on the
+// deterministic simulator, dividing totalOps of work evenly among
+// workers, and normalizes to the first configuration's 1-CPU run.
+func RunFigure(title string, configs []Config, cpus []int, totalOps int, seed int64) Figure {
+	fig := Figure{Title: title, CPUs: cpus}
+	var baseline float64
+	for ci, cfg := range configs {
+		s := Series{Name: cfg.Name, Speedup: map[int]float64{}, Stats: map[int]stm.Stats{}}
+		for _, n := range cpus {
+			pl := &SimPlatform{Seed: seed + int64(ci)}
+			exec := cfg.Setup(pl)
+			per := totalOps / n
+			res := pl.Run(n, func(w *Worker) {
+				for i := 0; i < per; i++ {
+					exec(w)
+				}
+			})
+			if ci == 0 && n == cpus[0] {
+				baseline = res.Elapsed
+			}
+			s.Speedup[n] = baseline / res.Elapsed
+			s.Stats[n] = res.Stats
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// String renders the figure as the table the paper plots: one row per
+// CPU count, one column per configuration, values are speedups over
+// 1-CPU Java.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-6s", "CPUs")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-30s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, n := range f.CPUs {
+		fmt.Fprintf(&b, "%-6d", n)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "  %-30.2f", s.Speedup[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// StatsString renders the per-run abort/violation counts, the
+// TAPE-style conflict breakdown the paper's §6.3 analysis uses.
+func (f Figure) StatsString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — transaction statistics (commits/aborts/violations)\n", f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %s:\n", s.Name)
+		for _, n := range f.CPUs {
+			st := s.Stats[n]
+			fmt.Fprintf(&b, "    %2d CPUs: commits=%d aborts=%d violations=%d open=%d handlers=%d\n",
+				n, st.Commits, st.Aborts, st.Violations, st.OpenCommits, st.HandlerRuns)
+			if breakdown := FormatViolationProfile(st, 3); breakdown != "" {
+				fmt.Fprintf(&b, "             lost work: %s\n", breakdown)
+			}
+		}
+	}
+	return b.String()
+}
+
+// FormatViolationProfile renders the top sources of semantic lost work,
+// the TAPE-style attribution the paper used to find the counters and
+// tables worth wrapping (§6.3).
+func FormatViolationProfile(st stm.Stats, top int) string {
+	if len(st.ViolationsByReason) == 0 {
+		return ""
+	}
+	type rc struct {
+		reason string
+		n      uint64
+	}
+	all := make([]rc, 0, len(st.ViolationsByReason))
+	for r, n := range st.ViolationsByReason {
+		all = append(all, rc{r, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].reason < all[j].reason
+	})
+	if len(all) > top {
+		all = all[:top]
+	}
+	parts := make([]string, len(all))
+	for i, e := range all {
+		parts[i] = fmt.Sprintf("%s ×%d", e.reason, e.n)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"testing"
+
+	"tcc/internal/stm"
+)
+
+func TestSimPlatformDeterminism(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 256
+	run := func() float64 {
+		pl := &SimPlatform{Seed: 3}
+		exec := TestMapConfigs(p)[2].Setup(pl) // TransactionalMap config
+		per := p.TotalOps / 4
+		res := pl.Run(4, func(w *Worker) {
+			for i := 0; i < per; i++ {
+				exec(w)
+			}
+		})
+		return res.Elapsed
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed gave different makespans: %v vs %v", a, b)
+	}
+}
+
+func TestSimLockCostsVirtualTime(t *testing.T) {
+	pl := &SimPlatform{}
+	l := pl.NewLock()
+	res := pl.Run(4, func(w *Worker) {
+		for i := 0; i < 5; i++ {
+			l.Lock(w)
+			w.Compute(100)
+			l.Unlock(w)
+		}
+	})
+	if res.Elapsed < 4*5*100 {
+		t.Fatalf("critical sections did not serialize: makespan %.0f", res.Elapsed)
+	}
+}
+
+func TestRealPlatformRuns(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 64
+	p.Compute = 10
+	pl := &RealPlatform{Seed: 9}
+	for _, cfg := range TestMapConfigs(p) {
+		exec := cfg.Setup(pl)
+		res := pl.Run(4, func(w *Worker) {
+			for i := 0; i < p.TotalOps/4; i++ {
+				exec(w)
+			}
+		})
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: elapsed %v", cfg.Name, res.Elapsed)
+		}
+	}
+}
+
+// TestFigure1Shape runs a small Figure 1 sweep and asserts the paper's
+// qualitative result: Java and TransactionalMap scale, the plain
+// STM-instrumented HashMap does not.
+func TestFigure1Shape(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 1024
+	fig := RunFigure("TestMap", TestMapConfigs(p), []int{1, 16}, p.TotalOps, 7)
+	get := func(name string, n int) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s.Speedup[n]
+			}
+		}
+		t.Fatalf("missing series %s", name)
+		return 0
+	}
+	java := get("Java HashMap", 16)
+	atomos := get("Atomos HashMap", 16)
+	trans := get("Atomos TransactionalMap", 16)
+	if java < 10 {
+		t.Errorf("Java HashMap should scale: %.2f at 16 CPUs", java)
+	}
+	if trans < 10 {
+		t.Errorf("TransactionalMap should regain scalability: %.2f at 16 CPUs", trans)
+	}
+	if atomos > trans*0.85 {
+		t.Errorf("plain STM HashMap (%.2f) should scale worse than TransactionalMap (%.2f)", atomos, trans)
+	}
+	// The Atomos HashMap configuration must actually be aborting on the
+	// size field.
+	if fig.Series[1].Stats[16].Aborts == 0 {
+		t.Error("Atomos HashMap recorded no aborts; size-field conflicts missing")
+	}
+	// The wrapper's conflicts must be semantic (violations), not
+	// memory-level.
+	if fig.Series[2].Stats[16].Aborts > fig.Series[2].Stats[16].Commits/10 {
+		t.Errorf("TransactionalMap has excessive memory aborts: %+v", fig.Series[2].Stats[16])
+	}
+}
+
+// TestFigure3Shape asserts the TestCompound result: the coarse-lock
+// Java version is bounded by lock-hold time, while the transactional
+// version composes the two operations and still scales.
+func TestFigure3Shape(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 1024
+	fig := RunFigure("TestCompound", TestCompoundConfigs(p), []int{1, 16}, p.TotalOps, 7)
+	java := fig.Series[0].Speedup[16]
+	trans := fig.Series[2].Speedup[16]
+	if java > 5 {
+		t.Errorf("Java compound should be serialized by its coarse lock: %.2f", java)
+	}
+	if trans < 2*java {
+		t.Errorf("TransactionalMap compound (%.2f) should far exceed Java (%.2f)", trans, java)
+	}
+}
+
+func TestFigureStringRendering(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 128
+	fig := RunFigure("TestMap (smoke)", TestMapConfigs(p)[:1], []int{1, 2}, p.TotalOps, 1)
+	out := fig.String()
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatalf("rendering malformed: %q", out)
+	}
+	if fig.Series[0].Speedup[1] != 1.0 {
+		t.Fatalf("baseline speedup = %v, want 1.0", fig.Series[0].Speedup[1])
+	}
+	if st := fig.StatsString(); len(st) == 0 {
+		t.Fatal("empty stats rendering")
+	}
+}
+
+// TestFigure2Shape runs a small TestSortedMap sweep and asserts the
+// tree-specific claim: the STM-instrumented TreeMap stops scaling while
+// the wrapper keeps up with Java.
+func TestFigure2Shape(t *testing.T) {
+	p := DefaultMapParams()
+	p.TotalOps = 1024
+	fig := RunFigure("TestSortedMap", TestSortedMapConfigs(p), []int{1, 16}, p.TotalOps, 7)
+	java := fig.Series[0].Speedup[16]
+	atomos := fig.Series[1].Speedup[16]
+	trans := fig.Series[2].Speedup[16]
+	if java < 10 {
+		t.Errorf("Java TreeMap should scale: %.2f", java)
+	}
+	if trans < 0.8*java {
+		t.Errorf("TransactionalSortedMap (%.2f) should track Java (%.2f)", trans, java)
+	}
+	if atomos >= trans {
+		t.Errorf("Atomos TreeMap (%.2f) should lag the wrapper (%.2f)", atomos, trans)
+	}
+	if fig.Series[1].Stats[16].Aborts == 0 {
+		t.Error("Atomos TreeMap produced no rebalancing/size aborts")
+	}
+}
+
+func TestFormatViolationProfile(t *testing.T) {
+	var st stm.Stats
+	if got := FormatViolationProfile(st, 3); got != "" {
+		t.Fatalf("empty stats rendered %q", got)
+	}
+	st.ViolationsByReason = map[string]uint64{
+		"a: key conflict":  5,
+		"b: size conflict": 9,
+		"c: range":         1,
+		"d: first":         1,
+	}
+	st.Violations = 16
+	got := FormatViolationProfile(st, 2)
+	want := "b: size conflict ×9, a: key conflict ×5"
+	if got != want {
+		t.Fatalf("profile = %q, want %q", got, want)
+	}
+	// Ties break alphabetically, truncation respects top.
+	got = FormatViolationProfile(st, 4)
+	if got != "b: size conflict ×9, a: key conflict ×5, c: range ×1, d: first ×1" {
+		t.Fatalf("full profile = %q", got)
+	}
+}

@@ -1,0 +1,377 @@
+package harness
+
+import (
+	"tcc/internal/collections"
+	"tcc/internal/core"
+	"tcc/internal/stm"
+	"tcc/internal/stmcol"
+)
+
+// MapBenchParams parameterizes the TestMap / TestSortedMap /
+// TestCompound micro-benchmarks (paper §6.2): a mixture of 80% lookups,
+// 10% insertions and 10% removals against a single shared map, each
+// operation surrounded by computation to emulate access from within
+// long-running transactions.
+type MapBenchParams struct {
+	// TotalOps is the fixed amount of work divided among workers
+	// (strong scaling, as in the paper's fixed-size benchmarks).
+	TotalOps int
+	// Compute is the cycles of surrounding computation per operation.
+	Compute uint64
+	// KeySpace is the number of distinct keys; Prepopulate of them are
+	// inserted before measurement.
+	KeySpace    int
+	Prepopulate int
+	// ReadPct and PutPct split the operation mix (the remainder are
+	// removals).
+	ReadPct, PutPct int
+	// RangeSpan is the width of TestSortedMap's subMap range lookups.
+	RangeSpan int
+}
+
+// DefaultMapParams returns the parameters used for the figures.
+func DefaultMapParams() MapBenchParams {
+	return MapBenchParams{
+		TotalOps:    4096,
+		Compute:     2000,
+		KeySpace:    512,
+		Prepopulate: 256,
+		ReadPct:     80,
+		PutPct:      10,
+		RangeSpan:   8,
+	}
+}
+
+// opKind is one drawn operation.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opPut
+	opRemove
+)
+
+func (p MapBenchParams) drawOp(w *Worker) (opKind, int) {
+	k := w.RNG.Intn(p.KeySpace)
+	r := w.RNG.Intn(100)
+	switch {
+	case r < p.ReadPct:
+		return opRead, k
+	case r < p.ReadPct+p.PutPct:
+		return opPut, k
+	default:
+		return opRemove, k
+	}
+}
+
+// Config is one benchmark configuration (one line in a figure): Setup
+// builds fresh shared state on the platform and returns the per-worker
+// operation executor.
+type Config struct {
+	Name  string
+	Setup func(pl Platform) func(w *Worker)
+}
+
+// setupThread returns a throwaway transactional thread for
+// pre-measurement population of transactional structures.
+func setupThread() *stm.Thread { return stm.NewThread(&stm.RealClock{}, 12345) }
+
+// TestMapConfigs builds the three Figure 1 configurations: Java HashMap
+// (coarse lock per operation), Atomos HashMap (STM-instrumented map
+// accessed directly inside the long transaction), and Atomos
+// TransactionalMap (the wrapper).
+func TestMapConfigs(p MapBenchParams) []Config {
+	return []Config{
+		{
+			Name: "Java HashMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := collections.NewHashMap[int, int]()
+				for i := 0; i < p.Prepopulate; i++ {
+					m.Put(i, i)
+				}
+				lock := pl.NewLock()
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					w.Compute(p.Compute / 2)
+					lock.Lock(w)
+					w.Compute(core.DefaultOpCost)
+					switch op {
+					case opRead:
+						m.Get(k)
+					case opPut:
+						m.Put(k, k)
+					default:
+						m.Remove(k)
+					}
+					lock.Unlock(w)
+					w.Compute(p.Compute / 2)
+				}
+			},
+		},
+		{
+			Name: "Atomos HashMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := stmcol.NewHashMap[int, int]()
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						m.Put(tx, i, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 2)
+						switch op {
+						case opRead:
+							m.Get(tx, k)
+						case opPut:
+							m.Put(tx, k, k)
+						default:
+							m.Remove(tx, k)
+						}
+						w.Compute(p.Compute / 2)
+						return nil
+					})
+				}
+			},
+		},
+		{
+			Name: "Atomos TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						tm.Put(tx, i, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 2)
+						switch op {
+						case opRead:
+							tm.Get(tx, k)
+						case opPut:
+							tm.Put(tx, k, k)
+						default:
+							tm.Remove(tx, k)
+						}
+						w.Compute(p.Compute / 2)
+						return nil
+					})
+				}
+			},
+		},
+	}
+}
+
+// TestSortedMapConfigs builds the Figure 2 configurations: lookups are
+// replaced by subMap range scans that take the median key of the
+// returned range (paper §6.2).
+func TestSortedMapConfigs(p MapBenchParams) []Config {
+	// Range starts stay clear of the keyspace's top so [k, k+span) is
+	// well formed.
+	rangeStart := func(w *Worker, k int) int {
+		if k >= p.KeySpace-p.RangeSpan {
+			k = p.KeySpace - p.RangeSpan - 1
+		}
+		return k
+	}
+	return []Config{
+		{
+			Name: "Java TreeMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := collections.NewTreeMap[int, int]()
+				for i := 0; i < p.Prepopulate; i++ {
+					m.Put(i*2, i)
+				}
+				lock := pl.NewLock()
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					w.Compute(p.Compute / 2)
+					lock.Lock(w)
+					w.Compute(core.DefaultOpCost)
+					switch op {
+					case opRead:
+						lo := rangeStart(w, k)
+						hi := lo + p.RangeSpan
+						var keys []int
+						m.AscendRange(&lo, &hi, func(kk, _ int) bool {
+							keys = append(keys, kk)
+							return true
+						})
+						if len(keys) > 0 {
+							_ = keys[len(keys)/2] // median key
+						}
+					case opPut:
+						m.Put(k, k)
+					default:
+						m.Remove(k)
+					}
+					lock.Unlock(w)
+					w.Compute(p.Compute / 2)
+				}
+			},
+		},
+		{
+			Name: "Atomos TreeMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := stmcol.NewTreeMap[int, int]()
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						m.Put(tx, i*2, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 2)
+						switch op {
+						case opRead:
+							lo := rangeStart(w, k)
+							hi := lo + p.RangeSpan
+							var keys []int
+							m.AscendRange(tx, &lo, &hi, func(kk, _ int) bool {
+								keys = append(keys, kk)
+								return true
+							})
+							if len(keys) > 0 {
+								_ = keys[len(keys)/2]
+							}
+						case opPut:
+							m.Put(tx, k, k)
+						default:
+							m.Remove(tx, k)
+						}
+						w.Compute(p.Compute / 2)
+						return nil
+					})
+				}
+			},
+		},
+		{
+			Name: "Atomos TransactionalSortedMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]())
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						tm.Put(tx, i*2, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 2)
+						switch op {
+						case opRead:
+							lo := rangeStart(w, k)
+							view := tm.SubMap(lo, lo+p.RangeSpan)
+							keys := view.Keys(tx)
+							if len(keys) > 0 {
+								_ = keys[len(keys)/2]
+							}
+						case opPut:
+							tm.Put(tx, k, k)
+						default:
+							tm.Remove(tx, k)
+						}
+						w.Compute(p.Compute / 2)
+						return nil
+					})
+				}
+			},
+		},
+	}
+}
+
+// TestCompoundConfigs builds the Figure 3 configurations: each
+// iteration composes two map operations separated by computation. The
+// Java version must hold one coarse lock across the whole compound
+// operation (including the computation between the two accesses) to
+// stay atomic; the Atomos versions run the loop body as one
+// transaction.
+func TestCompoundConfigs(p MapBenchParams) []Config {
+	return []Config{
+		{
+			Name: "Java HashMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := collections.NewHashMap[int, int]()
+				for i := 0; i < p.Prepopulate; i++ {
+					m.Put(i, i)
+				}
+				lock := pl.NewLock()
+				return func(w *Worker) {
+					k1 := w.RNG.Intn(p.KeySpace)
+					k2 := w.RNG.Intn(p.KeySpace)
+					w.Compute(p.Compute / 3)
+					lock.Lock(w)
+					w.Compute(core.DefaultOpCost)
+					v, _ := m.Get(k1)
+					w.Compute(p.Compute / 3)
+					w.Compute(core.DefaultOpCost)
+					m.Put(k2, v+1)
+					lock.Unlock(w)
+					w.Compute(p.Compute / 3)
+				}
+			},
+		},
+		{
+			Name: "Atomos HashMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				m := stmcol.NewHashMap[int, int]()
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						m.Put(tx, i, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					k1 := w.RNG.Intn(p.KeySpace)
+					k2 := w.RNG.Intn(p.KeySpace)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 3)
+						v, _ := m.Get(tx, k1)
+						w.Compute(p.Compute / 3)
+						m.Put(tx, k2, v+1)
+						w.Compute(p.Compute / 3)
+						return nil
+					})
+				}
+			},
+		},
+		{
+			Name: "Atomos TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+				th := setupThread()
+				_ = th.Atomic(func(tx *stm.Tx) error {
+					for i := 0; i < p.Prepopulate; i++ {
+						tm.Put(tx, i, i)
+					}
+					return nil
+				})
+				return func(w *Worker) {
+					k1 := w.RNG.Intn(p.KeySpace)
+					k2 := w.RNG.Intn(p.KeySpace)
+					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+						w.Compute(p.Compute / 3)
+						v, _ := tm.Get(tx, k1)
+						w.Compute(p.Compute / 3)
+						tm.Put(tx, k2, v+1)
+						w.Compute(p.Compute / 3)
+						return nil
+					})
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,444 @@
+package jbb
+
+import (
+	"fmt"
+
+	"tcc/internal/collections"
+	"tcc/internal/core"
+	"tcc/internal/harness"
+	"tcc/internal/stm"
+	"tcc/internal/stmcol"
+)
+
+// atomosDistrict is one district's share of the transactional
+// warehouse: its order-ID generator and its order tables, in the
+// representation of the active configuration.
+type atomosDistrict struct {
+	nextOrderVar *stm.Var[int]
+	nextOrderGen *core.UIDGen
+
+	orderTableS    *stmcol.TreeMap[int, *Order]
+	newOrderTableS *stmcol.TreeMap[int, *Order]
+	orderTableT    *core.TransactionalSortedMap[int, *Order]
+	newOrderTableT *core.TransactionalSortedMap[int, *Order]
+}
+
+// atomosWarehouse implements the three transactional configurations.
+// Each of the five operations runs as a single top-level transaction —
+// the paper's "first step baseline parallelization by a novice parallel
+// programmer" whose correctness is easy to reason about because all
+// parallel code executes inside transactions (§6.3).
+//
+//   - Baseline: identifiers are stm.Vars (every operation conflicts on
+//     the warehouse transaction counter, every NewOrder on its
+//     district's nextOrder, every Payment on the history UID and ytd),
+//     tables are STM-instrumented collections.
+//   - Open (openCounters): identifiers become open-nested UIDGen /
+//     Counter instances, eliminating the counter conflicts.
+//   - Transactional (transactionalTables): the hot tables are wrapped
+//     in transactional collection classes, eliminating the structural
+//     conflicts too.
+type atomosWarehouse struct {
+	p                   Params
+	openCounters        bool
+	transactionalTables bool
+
+	districts []*atomosDistrict
+
+	// Warehouse-level identifier state (Baseline vs Open+).
+	nextHistoryVar *stm.Var[int]
+	ytdVar         *stm.Var[int64]
+	txCountVar     *stm.Var[int64]
+	nextHistoryGen *core.UIDGen
+	ytdCounter     *core.Counter
+	txCountCounter *core.Counter
+
+	// Per-entity state: one var per stock slot / customer balance, so
+	// only same-entity accesses conflict (as object fields would in
+	// Atomos).
+	stock   []*stm.Var[int]
+	balance []*stm.Var[int]
+	// lastOrderOf mirrors TPC-C: each customer's most recent order, the
+	// object Order-Status queries.
+	lastOrderOf []*stm.Var[*Order]
+
+	historyTableS *stmcol.HashMap[int, *History]
+	historyTableT *core.TransactionalMap[int, *History]
+}
+
+// NewAtomosWarehouse builds one of the transactional configurations.
+func NewAtomosWarehouse(cfg Config, p Params) Warehouse {
+	wh := &atomosWarehouse{
+		p:                   p,
+		openCounters:        cfg == ConfigAtomosOpen || cfg == ConfigAtomosTransactional,
+		transactionalTables: cfg == ConfigAtomosTransactional,
+	}
+	for i := 0; i < p.Items; i++ {
+		wh.stock = append(wh.stock, stm.NewVar(10_000))
+	}
+	for i := 0; i < p.Customers; i++ {
+		wh.balance = append(wh.balance, stm.NewVar(0))
+		wh.lastOrderOf = append(wh.lastOrderOf, stm.NewVar[*Order](nil))
+	}
+	if wh.openCounters {
+		wh.nextHistoryGen = core.NewUIDGen(0)
+		wh.ytdCounter = core.NewCounter(0)
+		wh.txCountCounter = core.NewCounter(0)
+	} else {
+		wh.nextHistoryVar = stm.NewVar(0)
+		wh.ytdVar = stm.NewVar[int64](0)
+		wh.txCountVar = stm.NewVar[int64](0)
+	}
+	if wh.transactionalTables {
+		wh.historyTableT = core.NewTransactionalMap[int, *History](collections.NewHashMap[int, *History]())
+		wh.historyTableT.SetName("Warehouse.historyTable")
+	} else {
+		wh.historyTableS = stmcol.NewHashMap[int, *History]()
+	}
+	th := stm.NewThread(&stm.RealClock{}, 999)
+	for di := 0; di < p.districtCount(); di++ {
+		d := &atomosDistrict{}
+		if wh.openCounters {
+			d.nextOrderGen = core.NewUIDGen(int64(p.InitialOrders))
+		} else {
+			d.nextOrderVar = stm.NewVar(p.InitialOrders)
+		}
+		var put func(tx *stm.Tx, k int, o *Order)
+		if wh.transactionalTables {
+			d.orderTableT = core.NewTransactionalSortedMap[int, *Order](collections.NewTreeMap[int, *Order]())
+			d.orderTableT.SetName(fmt.Sprintf("District[%d].orderTable", di))
+			d.newOrderTableT = core.NewTransactionalSortedMap[int, *Order](collections.NewTreeMap[int, *Order]())
+			d.newOrderTableT.SetName(fmt.Sprintf("District[%d].newOrderTable", di))
+			put = func(tx *stm.Tx, k int, o *Order) {
+				d.orderTableT.Put(tx, k, o)
+				d.newOrderTableT.Put(tx, k, o)
+			}
+		} else {
+			d.orderTableS = stmcol.NewTreeMap[int, *Order]()
+			d.newOrderTableS = stmcol.NewTreeMap[int, *Order]()
+			put = func(tx *stm.Tx, k int, o *Order) {
+				d.orderTableS.Put(tx, k, o)
+				d.newOrderTableS.Put(tx, k, o)
+			}
+		}
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			for oid := 0; oid < p.InitialOrders; oid++ {
+				put(tx, oid, &Order{ID: oid, Customer: oid % p.Customers, Total: 10})
+			}
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+		wh.districts = append(wh.districts, d)
+	}
+	return wh
+}
+
+// Identifier helpers dispatch on the configuration.
+
+func (d *atomosDistrict) takeOrderID(tx *stm.Tx) int {
+	if d.nextOrderGen != nil {
+		return int(d.nextOrderGen.Next(tx))
+	}
+	id := d.nextOrderVar.Get(tx)
+	d.nextOrderVar.Set(tx, id+1)
+	return id
+}
+
+// currentOrderID reads the district's next order id without consuming
+// it — TPC-C's Stock-Level reads D_NEXT_O_ID to bound its scan. In the
+// Open and Transactional configurations this is a reduced-isolation
+// read of the open-nested generator and creates no conflict; in the
+// Baseline it is an ordinary transactional read that conflicts with
+// every NewOrder in the district.
+func (d *atomosDistrict) currentOrderID(tx *stm.Tx) int {
+	if d.nextOrderGen != nil {
+		return int(d.nextOrderGen.Current(tx))
+	}
+	return d.nextOrderVar.Get(tx)
+}
+
+func (wh *atomosWarehouse) takeHistoryID(tx *stm.Tx) int {
+	if wh.openCounters {
+		return int(wh.nextHistoryGen.Next(tx))
+	}
+	id := wh.nextHistoryVar.Get(tx)
+	wh.nextHistoryVar.Set(tx, id+1)
+	return id
+}
+
+// countTransaction bumps the warehouse's transaction counter (the
+// throughput statistic SPECjbb's TransactionManager keeps) — in the
+// Baseline it is a transactional variable every operation reads and
+// writes, making it the dominant source of lost work, exactly the role
+// the paper assigns its global counters (§6.3).
+func (wh *atomosWarehouse) countTransaction(tx *stm.Tx) {
+	if wh.openCounters {
+		wh.txCountCounter.Add(tx, 1)
+		return
+	}
+	wh.txCountVar.Set(tx, wh.txCountVar.Get(tx)+1)
+}
+
+func (wh *atomosWarehouse) addYtd(tx *stm.Tx, amount int64) {
+	if wh.openCounters {
+		wh.ytdCounter.Add(tx, amount)
+		return
+	}
+	wh.ytdVar.Set(tx, wh.ytdVar.Get(tx)+amount)
+}
+
+// Table helpers dispatch on the configuration.
+
+func (wh *atomosWarehouse) putOrder(tx *stm.Tx, d *atomosDistrict, oid int, o *Order) {
+	if wh.transactionalTables {
+		d.orderTableT.Put(tx, oid, o)
+		d.newOrderTableT.Put(tx, oid, o)
+		return
+	}
+	d.orderTableS.Put(tx, oid, o)
+	d.newOrderTableS.Put(tx, oid, o)
+}
+
+func (wh *atomosWarehouse) takeFirstNewOrder(tx *stm.Tx, d *atomosDistrict) (*Order, bool) {
+	if wh.transactionalTables {
+		first, ok := d.newOrderTableT.FirstKey(tx)
+		if !ok {
+			return nil, false
+		}
+		o, _ := d.newOrderTableT.Get(tx, first)
+		d.newOrderTableT.Remove(tx, first)
+		return o, o != nil
+	}
+	first, ok := d.newOrderTableS.FirstKey(tx)
+	if !ok {
+		return nil, false
+	}
+	o, _ := d.newOrderTableS.Get(tx, first)
+	d.newOrderTableS.Remove(tx, first)
+	return o, o != nil
+}
+
+func (wh *atomosWarehouse) recentOrderItems(tx *stm.Tx, d *atomosDistrict) map[int]struct{} {
+	items := map[int]struct{}{}
+	collect := func(_ int, o *Order) bool {
+		for _, l := range o.Lines {
+			items[l.Item] = struct{}{}
+		}
+		return true
+	}
+	hi := d.currentOrderID(tx)
+	lo := hi - wh.p.RecentOrders
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return items
+	}
+	// The scan is bounded ([hi-20, hi), per TPC-C), so order insertions
+	// beyond the observed id bound do not semantically conflict with it.
+	if wh.transactionalTables {
+		d.orderTableT.SubMap(lo, hi).ForEach(tx, collect)
+		return items
+	}
+	d.orderTableS.AscendRange(tx, &lo, &hi, collect)
+	return items
+}
+
+func (wh *atomosWarehouse) putHistory(tx *stm.Tx, hid int, h *History) {
+	if wh.transactionalTables {
+		// Blind put: the ID is fresh, nobody needs the (absent) old
+		// value — the §5.1 "unread" variant avoids even the key read.
+		wh.historyTableT.PutUnread(tx, hid, h)
+		return
+	}
+	wh.historyTableS.Put(tx, hid, h)
+}
+
+// Do executes op as one atomic transaction.
+func (wh *atomosWarehouse) Do(w *harness.Worker, op Op) Counts {
+	d := wh.districts[w.RNG.Intn(len(wh.districts))]
+	switch op {
+	case OpNewOrder:
+		return wh.newOrder(w, d)
+	case OpPayment:
+		return wh.payment(w)
+	case OpOrderStatus:
+		return wh.orderStatus(w)
+	case OpDelivery:
+		return wh.delivery(w, d)
+	default:
+		return wh.stockLevel(w, d)
+	}
+}
+
+func (wh *atomosWarehouse) newOrder(w *harness.Worker, d *atomosDistrict) Counts {
+	nLines := 1 + w.RNG.Intn(wh.p.MaxOrderLines)
+	customer := w.RNG.Intn(wh.p.Customers)
+	lines := make([]OrderLine, nLines)
+	for i := range lines {
+		lines[i] = OrderLine{Item: w.RNG.Intn(wh.p.Items), Qty: 1 + w.RNG.Intn(5)}
+	}
+	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+		w.Compute(wh.p.Compute / 2)
+		wh.countTransaction(tx)
+		oid := d.takeOrderID(tx)
+		total := 0
+		for _, l := range lines {
+			q := wh.stock[l.Item].Get(tx)
+			q -= l.Qty
+			if q < 100 {
+				q += 5_000 // restock
+			}
+			wh.stock[l.Item].Set(tx, q)
+			total += l.Qty * itemPrice(l.Item)
+		}
+		o := &Order{ID: oid, Customer: customer, Lines: lines, Total: total}
+		wh.putOrder(tx, d, oid, o)
+		wh.lastOrderOf[customer].Set(tx, o)
+		w.Compute(wh.p.Compute / 2)
+		return nil
+	})
+	return Counts{NewOrders: 1}
+}
+
+func (wh *atomosWarehouse) payment(w *harness.Worker) Counts {
+	customer := w.RNG.Intn(wh.p.Customers)
+	amount := 1 + w.RNG.Intn(100)
+	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+		w.Compute(wh.p.Compute / 2)
+		wh.countTransaction(tx)
+		b := wh.balance[customer]
+		b.Set(tx, b.Get(tx)-amount)
+		wh.addYtd(tx, int64(amount))
+		hid := wh.takeHistoryID(tx)
+		wh.putHistory(tx, hid, &History{ID: hid, Customer: customer, Amount: amount})
+		w.Compute(wh.p.Compute / 2)
+		return nil
+	})
+	return Counts{Payments: 1, PaymentTotal: int64(amount)}
+}
+
+func (wh *atomosWarehouse) orderStatus(w *harness.Worker) Counts {
+	// TPC-C's Order-Status queries the status of the *customer's* most
+	// recent order.
+	customer := w.RNG.Intn(wh.p.Customers)
+	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+		w.Compute(wh.p.Compute / 2)
+		wh.countTransaction(tx)
+		if o := wh.lastOrderOf[customer].Get(tx); o != nil {
+			sum := 0
+			for _, l := range o.Lines {
+				sum += l.Qty
+			}
+			_ = sum
+		}
+		w.Compute(wh.p.Compute / 2)
+		return nil
+	})
+	return Counts{OrderStatuses: 1}
+}
+
+func (wh *atomosWarehouse) delivery(w *harness.Worker, d *atomosDistrict) Counts {
+	delivered := false
+	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+		delivered = false
+		w.Compute(wh.p.Compute / 2)
+		wh.countTransaction(tx)
+		if o, ok := wh.takeFirstNewOrder(tx, d); ok {
+			b := wh.balance[o.Customer]
+			b.Set(tx, b.Get(tx)+o.Total)
+			delivered = true
+		}
+		w.Compute(wh.p.Compute / 2)
+		return nil
+	})
+	if delivered {
+		return Counts{Deliveries: 1}
+	}
+	return Counts{EmptyDeliveries: 1}
+}
+
+func (wh *atomosWarehouse) stockLevel(w *harness.Worker, d *atomosDistrict) Counts {
+	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+		w.Compute(wh.p.Compute / 2)
+		wh.countTransaction(tx)
+		low := 0
+		for it := range wh.recentOrderItems(tx, d) {
+			if wh.stock[it].Get(tx) < wh.p.StockThreshold {
+				low++
+			}
+		}
+		w.Compute(wh.p.Compute / 2)
+		return nil
+	})
+	return Counts{StockLevels: 1}
+}
+
+// Check validates table sizes and counters against the tally.
+func (wh *atomosWarehouse) Check(c Counts) error {
+	th := stm.NewThread(&stm.RealClock{}, 777)
+	var orderN, newOrderN, historyN int
+	if err := th.Atomic(func(tx *stm.Tx) error {
+		orderN, newOrderN = 0, 0
+		for _, d := range wh.districts {
+			if wh.transactionalTables {
+				orderN += d.orderTableT.Size(tx)
+				newOrderN += d.newOrderTableT.Size(tx)
+			} else {
+				orderN += d.orderTableS.Size(tx)
+				newOrderN += d.newOrderTableS.Size(tx)
+			}
+		}
+		if wh.transactionalTables {
+			historyN = wh.historyTableT.Size(tx)
+		} else {
+			historyN = wh.historyTableS.Size(tx)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	nd := int64(len(wh.districts))
+	if got, want := int64(orderN), nd*int64(wh.p.InitialOrders)+c.NewOrders; got != want {
+		return fmt.Errorf("jbb/atomos: orderTable size %d, want %d", got, want)
+	}
+	if got, want := int64(newOrderN), nd*int64(wh.p.InitialOrders)+c.NewOrders-c.Deliveries; got != want {
+		return fmt.Errorf("jbb/atomos: newOrderTable size %d, want %d", got, want)
+	}
+	if got, want := int64(historyN), c.Payments; got != want {
+		return fmt.Errorf("jbb/atomos: historyTable size %d, want %d", got, want)
+	}
+	// Identifier checks: exact for the serializable Baseline counters;
+	// gaps allowed (>=) for open-nested UID generators.
+	if wh.openCounters {
+		var sum int64
+		for _, d := range wh.districts {
+			sum += d.nextOrderGen.Peek() - int64(wh.p.InitialOrders)
+		}
+		if sum < c.NewOrders {
+			return fmt.Errorf("jbb/atomos: nextOrder sum %d, want >= %d", sum, c.NewOrders)
+		}
+		if got := wh.ytdCounter.Value(); got != c.PaymentTotal {
+			return fmt.Errorf("jbb/atomos: ytd %d, want %d", got, c.PaymentTotal)
+		}
+		if got, want := wh.txCountCounter.Value(), c.totalOps(); got != want {
+			return fmt.Errorf("jbb/atomos: txCount %d, want %d", got, want)
+		}
+	} else {
+		var sum int64
+		for _, d := range wh.districts {
+			sum += int64(d.nextOrderVar.GetCommitted() - wh.p.InitialOrders)
+		}
+		if sum != c.NewOrders {
+			return fmt.Errorf("jbb/atomos: nextOrder sum %d, want %d", sum, c.NewOrders)
+		}
+		if got := wh.ytdVar.GetCommitted(); got != c.PaymentTotal {
+			return fmt.Errorf("jbb/atomos: ytd %d, want %d", got, c.PaymentTotal)
+		}
+		if got, want := wh.txCountVar.GetCommitted(), c.totalOps(); got != want {
+			return fmt.Errorf("jbb/atomos: txCount %d, want %d", got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package jbb
+
+import (
+	"tcc/internal/harness"
+)
+
+// Configs builds the four Figure 4 configurations as harness configs.
+func Configs(p Params) []harness.Config {
+	mk := func(cfg Config) harness.Config {
+		return harness.Config{
+			Name: cfg.String(),
+			Setup: func(pl harness.Platform) func(w *harness.Worker) {
+				var wh Warehouse
+				if cfg == ConfigJava {
+					wh = NewJavaWarehouse(p, pl)
+				} else {
+					wh = NewAtomosWarehouse(cfg, p)
+				}
+				return func(w *harness.Worker) {
+					wh.Do(w, DrawOp(w))
+				}
+			},
+		}
+	}
+	return []harness.Config{
+		mk(ConfigJava),
+		mk(ConfigAtomosBaseline),
+		mk(ConfigAtomosOpen),
+		mk(ConfigAtomosTransactional),
+	}
+}
+
+// RunFigure4 sweeps the four configurations over cpus on the
+// deterministic simulator, reproducing the paper's Figure 4
+// (high-contention single-warehouse SPECjbb2000).
+func RunFigure4(cpus []int, totalOps int, p Params, seed int64) harness.Figure {
+	return harness.RunFigure("SPECjbb2000, single warehouse (Figure 4)", Configs(p), cpus, totalOps, seed)
+}

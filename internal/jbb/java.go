@@ -1,0 +1,305 @@
+package jbb
+
+import (
+	"fmt"
+
+	"tcc/internal/collections"
+	"tcc/internal/harness"
+)
+
+// javaDistrict is one district's share of the lock-based warehouse:
+// its order-ID counter and its order tables, each behind its own lock
+// (the synchronized critical regions of the original Java SPECjbb2000).
+type javaDistrict struct {
+	lock      harness.Lock
+	nextOrder int
+
+	orderLock  harness.Lock
+	orderTable *collections.TreeMap[int, *Order]
+
+	newOrderLock  harness.Lock
+	newOrderTable *collections.TreeMap[int, *Order]
+}
+
+// javaWarehouse is the lock-based configuration: plain collections,
+// each protected by its own lock. Operations are sequences of short
+// critical sections; only individual structure accesses are atomic,
+// exactly as in the original benchmark.
+type javaWarehouse struct {
+	p Params
+
+	districts []*javaDistrict
+
+	nextHistoryLock harness.Lock
+	nextHistory     int
+
+	txCountLock harness.Lock
+	txCount     int64
+
+	stockLock harness.Lock
+	stock     []int
+
+	customerLock harness.Lock
+	balance      []int
+	lastOrder    []*Order
+
+	ytdLock harness.Lock
+	ytd     int64
+
+	historyLock  harness.Lock
+	historyTable *collections.HashMap[int, *History]
+}
+
+// NewJavaWarehouse builds the lock-based configuration on pl.
+func NewJavaWarehouse(p Params, pl harness.Platform) Warehouse {
+	wh := &javaWarehouse{
+		p:               p,
+		nextHistoryLock: pl.NewLock(),
+		txCountLock:     pl.NewLock(),
+		stockLock:       pl.NewLock(),
+		customerLock:    pl.NewLock(),
+		ytdLock:         pl.NewLock(),
+		historyLock:     pl.NewLock(),
+		stock:           make([]int, p.Items),
+		balance:         make([]int, p.Customers),
+		lastOrder:       make([]*Order, p.Customers),
+		historyTable:    collections.NewHashMap[int, *History](),
+	}
+	for i := range wh.stock {
+		wh.stock[i] = 10_000
+	}
+	for d := 0; d < p.districtCount(); d++ {
+		dist := &javaDistrict{
+			lock:          pl.NewLock(),
+			orderLock:     pl.NewLock(),
+			newOrderLock:  pl.NewLock(),
+			orderTable:    collections.NewTreeMap[int, *Order](),
+			newOrderTable: collections.NewTreeMap[int, *Order](),
+		}
+		for oid := 0; oid < p.InitialOrders; oid++ {
+			o := &Order{ID: oid, Customer: oid % p.Customers, Total: 10}
+			dist.orderTable.Put(oid, o)
+			dist.newOrderTable.Put(oid, o)
+		}
+		dist.nextOrder = p.InitialOrders
+		wh.districts = append(wh.districts, dist)
+	}
+	return wh
+}
+
+// Abstract cycle costs of the Java critical sections: opCost is a small
+// field access, tableCost a tree or hash operation against a large
+// shared table, scanCost is charged per order visited by a range scan.
+const (
+	opCost    = 40
+	tableCost = 150
+	scanCost  = 10
+)
+
+func (wh *javaWarehouse) Do(w *harness.Worker, op Op) Counts {
+	// Every operation bumps the warehouse's transaction counter (the
+	// throughput statistic SPECjbb's TransactionManager keeps), one of
+	// the "several global counters" of paper §6.3.
+	wh.txCountLock.Lock(w)
+	w.Compute(opCost / 8)
+	wh.txCount++
+	wh.txCountLock.Unlock(w)
+	d := wh.districts[w.RNG.Intn(len(wh.districts))]
+	switch op {
+	case OpNewOrder:
+		return wh.newOrder(w, d)
+	case OpPayment:
+		return wh.payment(w)
+	case OpOrderStatus:
+		return wh.orderStatus(w)
+	case OpDelivery:
+		return wh.delivery(w, d)
+	default:
+		return wh.stockLevel(w, d)
+	}
+}
+
+func (wh *javaWarehouse) newOrder(w *harness.Worker, d *javaDistrict) Counts {
+	nLines := 1 + w.RNG.Intn(wh.p.MaxOrderLines)
+	customer := w.RNG.Intn(wh.p.Customers)
+	lines := make([]OrderLine, nLines)
+	for i := range lines {
+		lines[i] = OrderLine{Item: w.RNG.Intn(wh.p.Items), Qty: 1 + w.RNG.Intn(5)}
+	}
+	w.Compute(wh.p.Compute / 2)
+
+	d.lock.Lock(w)
+	w.Compute(opCost / 4)
+	oid := d.nextOrder
+	d.nextOrder++
+	d.lock.Unlock(w)
+
+	total := 0
+	wh.stockLock.Lock(w)
+	w.Compute(opCost)
+	for _, l := range lines {
+		wh.stock[l.Item] -= l.Qty
+		if wh.stock[l.Item] < 100 {
+			wh.stock[l.Item] += 5_000 // restock
+		}
+		total += l.Qty * itemPrice(l.Item)
+	}
+	wh.stockLock.Unlock(w)
+
+	o := &Order{ID: oid, Customer: customer, Lines: lines, Total: total}
+	d.orderLock.Lock(w)
+	w.Compute(tableCost)
+	d.orderTable.Put(oid, o)
+	d.orderLock.Unlock(w)
+
+	d.newOrderLock.Lock(w)
+	w.Compute(tableCost)
+	d.newOrderTable.Put(oid, o)
+	d.newOrderLock.Unlock(w)
+
+	wh.customerLock.Lock(w)
+	w.Compute(opCost / 4)
+	wh.lastOrder[customer] = o
+	wh.customerLock.Unlock(w)
+
+	w.Compute(wh.p.Compute / 2)
+	return Counts{NewOrders: 1}
+}
+
+func (wh *javaWarehouse) payment(w *harness.Worker) Counts {
+	customer := w.RNG.Intn(wh.p.Customers)
+	amount := 1 + w.RNG.Intn(100)
+	w.Compute(wh.p.Compute / 2)
+
+	wh.customerLock.Lock(w)
+	w.Compute(opCost / 4)
+	wh.balance[customer] -= amount
+	wh.customerLock.Unlock(w)
+
+	wh.ytdLock.Lock(w)
+	w.Compute(opCost / 4)
+	wh.ytd += int64(amount)
+	wh.ytdLock.Unlock(w)
+
+	wh.nextHistoryLock.Lock(w)
+	w.Compute(opCost / 4)
+	hid := wh.nextHistory
+	wh.nextHistory++
+	wh.nextHistoryLock.Unlock(w)
+
+	wh.historyLock.Lock(w)
+	w.Compute(tableCost)
+	wh.historyTable.Put(hid, &History{ID: hid, Customer: customer, Amount: amount})
+	wh.historyLock.Unlock(w)
+
+	w.Compute(wh.p.Compute / 2)
+	return Counts{Payments: 1, PaymentTotal: int64(amount)}
+}
+
+func (wh *javaWarehouse) orderStatus(w *harness.Worker) Counts {
+	// TPC-C's Order-Status queries the status of the *customer's* most
+	// recent order.
+	customer := w.RNG.Intn(wh.p.Customers)
+	w.Compute(wh.p.Compute / 2)
+	wh.customerLock.Lock(w)
+	w.Compute(opCost / 4)
+	o := wh.lastOrder[customer]
+	wh.customerLock.Unlock(w)
+	if o != nil {
+		sum := 0
+		for _, l := range o.Lines {
+			sum += l.Qty
+		}
+		_ = sum
+	}
+	w.Compute(wh.p.Compute / 2)
+	return Counts{OrderStatuses: 1}
+}
+
+func (wh *javaWarehouse) delivery(w *harness.Worker, d *javaDistrict) Counts {
+	w.Compute(wh.p.Compute / 2)
+	var o *Order
+	d.newOrderLock.Lock(w)
+	w.Compute(tableCost)
+	if first, ok := d.newOrderTable.FirstKey(); ok {
+		o, _ = d.newOrderTable.Get(first)
+		d.newOrderTable.Remove(first)
+	}
+	d.newOrderLock.Unlock(w)
+	if o == nil {
+		w.Compute(wh.p.Compute / 2)
+		return Counts{EmptyDeliveries: 1}
+	}
+	wh.customerLock.Lock(w)
+	w.Compute(opCost / 4)
+	wh.balance[o.Customer] += o.Total
+	wh.customerLock.Unlock(w)
+	w.Compute(wh.p.Compute / 2)
+	return Counts{Deliveries: 1}
+}
+
+func (wh *javaWarehouse) stockLevel(w *harness.Worker, d *javaDistrict) Counts {
+	w.Compute(wh.p.Compute / 2)
+	items := map[int]struct{}{}
+	// TPC-C bounds the scan by the district's next order id.
+	d.lock.Lock(w)
+	w.Compute(opCost / 4)
+	hi := d.nextOrder
+	d.lock.Unlock(w)
+	lo := hi - wh.p.RecentOrders
+	if lo < 0 {
+		lo = 0
+	}
+	d.orderLock.Lock(w)
+	w.Compute(tableCost)
+	visited := uint64(0)
+	d.orderTable.AscendRange(&lo, &hi, func(_ int, o *Order) bool {
+		visited++
+		for _, l := range o.Lines {
+			items[l.Item] = struct{}{}
+		}
+		return true
+	})
+	w.Compute(scanCost * visited)
+	d.orderLock.Unlock(w)
+	low := 0
+	wh.stockLock.Lock(w)
+	w.Compute(opCost)
+	for it := range items {
+		if wh.stock[it] < wh.p.StockThreshold {
+			low++
+		}
+	}
+	wh.stockLock.Unlock(w)
+	w.Compute(wh.p.Compute / 2)
+	return Counts{StockLevels: 1}
+}
+
+func (wh *javaWarehouse) Check(c Counts) error {
+	nd := int64(len(wh.districts))
+	orderN, newOrderN, nextSum := int64(0), int64(0), int64(0)
+	for _, d := range wh.districts {
+		orderN += int64(d.orderTable.Size())
+		newOrderN += int64(d.newOrderTable.Size())
+		nextSum += int64(d.nextOrder)
+	}
+	if want := nd*int64(wh.p.InitialOrders) + c.NewOrders; orderN != want {
+		return fmt.Errorf("jbb/java: orderTable size %d, want %d", orderN, want)
+	}
+	if want := nd*int64(wh.p.InitialOrders) + c.NewOrders - c.Deliveries; newOrderN != want {
+		return fmt.Errorf("jbb/java: newOrderTable size %d, want %d", newOrderN, want)
+	}
+	if want := nd*int64(wh.p.InitialOrders) + c.NewOrders; nextSum != want {
+		return fmt.Errorf("jbb/java: nextOrder sum %d, want %d", nextSum, want)
+	}
+	if got, want := int64(wh.historyTable.Size()), c.Payments; got != want {
+		return fmt.Errorf("jbb/java: historyTable size %d, want %d", got, want)
+	}
+	if wh.ytd != c.PaymentTotal {
+		return fmt.Errorf("jbb/java: ytd %d, want %d", wh.ytd, c.PaymentTotal)
+	}
+	if got, want := wh.txCount, c.totalOps(); got != want {
+		return fmt.Errorf("jbb/java: txCount %d, want %d", got, want)
+	}
+	return nil
+}

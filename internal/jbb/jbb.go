@@ -1,0 +1,190 @@
+// Package jbb is a from-scratch stand-in for the paper's
+// high-contention SPECjbb2000 variant (§6.3): a TPC-C-style order
+// processing workload where — unlike stock SPECjbb — every thread
+// operates on a single shared warehouse with a single district, so the
+// shared structures the paper names become hot:
+//
+//   - District.nextOrder, the order-ID generator (every NewOrder),
+//   - Warehouse.historyTable (every Payment),
+//   - District.orderTable and District.newOrderTable (NewOrder,
+//     Delivery, OrderStatus, StockLevel).
+//
+// Four configurations reproduce the paper's Figure 4 lines:
+//
+//	Java                 — plain collections, one lock per structure
+//	                       (the synchronized critical regions).
+//	Atomos Baseline      — each of the five operations is one
+//	                       transaction over STM-instrumented structures;
+//	                       a novice's first parallelization.
+//	Atomos Open          — Baseline plus open-nested counters and UID
+//	                       generators for nextOrder / history IDs / ytd.
+//	Atomos Transactional — Open plus the three hot tables wrapped in
+//	                       TransactionalMap / TransactionalSortedMap.
+package jbb
+
+import (
+	"fmt"
+
+	"tcc/internal/harness"
+)
+
+// Config selects one of the four Figure 4 configurations.
+type Config int
+
+// The Figure 4 configurations.
+const (
+	ConfigJava Config = iota
+	ConfigAtomosBaseline
+	ConfigAtomosOpen
+	ConfigAtomosTransactional
+)
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	switch c {
+	case ConfigJava:
+		return "Java"
+	case ConfigAtomosBaseline:
+		return "Atomos Baseline"
+	case ConfigAtomosOpen:
+		return "Atomos Open"
+	case ConfigAtomosTransactional:
+		return "Atomos Transactional"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// Params sizes the workload.
+type Params struct {
+	// Items and Customers size the static entity tables.
+	Items, Customers int
+	// InitialOrders pre-populates the order tables.
+	InitialOrders int
+	// MaxOrderLines bounds the lines per order (TPC-C draws 5-15; we
+	// default lower to keep simulated transactions comparable to the
+	// micro-benchmarks).
+	MaxOrderLines int
+	// Compute is the per-operation surrounding computation in cycles.
+	Compute uint64
+	// StockThreshold is StockLevel's low-stock cutoff.
+	StockThreshold int
+	// RecentOrders is how far back StockLevel scans.
+	RecentOrders int
+	// Districts is the number of districts in the shared warehouse.
+	// SPECjbb's standard warehouse has 10; the paper's high-contention
+	// variant concentrates everything, so the default here is 1. The
+	// district-sensitivity benchmark sweeps it.
+	Districts int
+}
+
+// districtCount normalizes the Districts parameter (zero means one).
+func (p Params) districtCount() int {
+	if p.Districts <= 0 {
+		return 1
+	}
+	return p.Districts
+}
+
+// DefaultParams returns the workload sizing used for Figure 4.
+func DefaultParams() Params {
+	return Params{
+		Items:          200,
+		Customers:      100,
+		InitialOrders:  50,
+		MaxOrderLines:  4,
+		Compute:        1200,
+		StockThreshold: 500,
+		RecentOrders:   20,
+	}
+}
+
+// Op is one of the five TPC-C-style operations.
+type Op int
+
+// The five operations of SPECjbb2000.
+const (
+	OpNewOrder Op = iota
+	OpPayment
+	OpOrderStatus
+	OpDelivery
+	OpStockLevel
+)
+
+// DrawOp samples the SPECjbb2000 operation mix (10:10:1:1:1 —
+// NewOrder and Payment dominate).
+func DrawOp(w *harness.Worker) Op {
+	switch r := w.RNG.Intn(23); {
+	case r < 10:
+		return OpNewOrder
+	case r < 20:
+		return OpPayment
+	case r < 21:
+		return OpOrderStatus
+	case r < 22:
+		return OpDelivery
+	default:
+		return OpStockLevel
+	}
+}
+
+// Order is one customer order; immutable once published.
+type Order struct {
+	ID       int
+	Customer int
+	Lines    []OrderLine
+	Total    int
+}
+
+// OrderLine is one item/quantity pair of an order.
+type OrderLine struct {
+	Item, Qty int
+}
+
+// History is one payment record.
+type History struct {
+	ID       int
+	Customer int
+	Amount   int
+}
+
+// Counts tallies the operations a run actually performed, for
+// consistency checking.
+type Counts struct {
+	NewOrders, Payments, OrderStatuses, StockLevels int64
+	// Deliveries counts deliveries that found an undelivered order;
+	// EmptyDeliveries counts the ones that found none.
+	Deliveries, EmptyDeliveries int64
+	// PaymentTotal sums committed payment amounts.
+	PaymentTotal int64
+}
+
+// totalOps is the number of operations the tally covers.
+func (c Counts) totalOps() int64 {
+	return c.NewOrders + c.Payments + c.OrderStatuses + c.StockLevels + c.Deliveries + c.EmptyDeliveries
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.NewOrders += other.NewOrders
+	c.Payments += other.Payments
+	c.OrderStatuses += other.OrderStatuses
+	c.StockLevels += other.StockLevels
+	c.Deliveries += other.Deliveries
+	c.EmptyDeliveries += other.EmptyDeliveries
+	c.PaymentTotal += other.PaymentTotal
+}
+
+// Warehouse is one configured instance of the workload's shared state.
+type Warehouse interface {
+	// Do executes op to successful completion on behalf of w and
+	// returns the operation's contribution to the consistency tally.
+	Do(w *harness.Worker, op Op) Counts
+	// Check validates the shared state against the tallied operations
+	// after all workers have quiesced.
+	Check(c Counts) error
+}
+
+// itemPrice is the static price list (items are read-only, as in
+// SPECjbb's item table).
+func itemPrice(item int) int { return 10 + item%90 }

@@ -1,0 +1,119 @@
+package jbb
+
+import (
+	"sync"
+	"testing"
+
+	"tcc/internal/harness"
+)
+
+// runWarehouse drives ops on a warehouse across workers on the given
+// platform and returns the tallied counts.
+func runWarehouse(pl harness.Platform, wh Warehouse, workers, opsPerWorker int) Counts {
+	var mu sync.Mutex
+	var total Counts
+	pl.Run(workers, func(w *harness.Worker) {
+		var local Counts
+		for i := 0; i < opsPerWorker; i++ {
+			local.Add(wh.Do(w, DrawOp(w)))
+		}
+		mu.Lock()
+		total.Add(local)
+		mu.Unlock()
+	})
+	return total
+}
+
+func testConfigConsistency(t *testing.T, cfg Config) {
+	t.Helper()
+	p := DefaultParams()
+	p.Compute = 100 // keep simulated runs fast in tests
+	pl := &harness.SimPlatform{Seed: 3}
+	var wh Warehouse
+	if cfg == ConfigJava {
+		wh = NewJavaWarehouse(p, pl)
+	} else {
+		wh = NewAtomosWarehouse(cfg, p)
+	}
+	counts := runWarehouse(pl, wh, 8, 40)
+	if counts.NewOrders == 0 || counts.Payments == 0 {
+		t.Fatalf("degenerate op mix: %+v", counts)
+	}
+	if err := wh.Check(counts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJavaConsistency(t *testing.T)          { testConfigConsistency(t, ConfigJava) }
+func TestBaselineConsistency(t *testing.T)      { testConfigConsistency(t, ConfigAtomosBaseline) }
+func TestOpenConsistency(t *testing.T)          { testConfigConsistency(t, ConfigAtomosOpen) }
+func TestTransactionalConsistency(t *testing.T) { testConfigConsistency(t, ConfigAtomosTransactional) }
+
+// TestConfigsOnRealGoroutines exercises the transactional
+// configurations under true host concurrency (and the race detector,
+// when enabled).
+func TestConfigsOnRealGoroutines(t *testing.T) {
+	for _, cfg := range []Config{ConfigAtomosBaseline, ConfigAtomosOpen, ConfigAtomosTransactional} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			p := DefaultParams()
+			p.Compute = 10
+			pl := &harness.RealPlatform{Seed: 5}
+			wh := NewAtomosWarehouse(cfg, p)
+			counts := runWarehouse(pl, wh, 4, 60)
+			if err := wh.Check(counts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOperationMix sanity-checks the 10:10:1:1:1 draw.
+func TestOperationMix(t *testing.T) {
+	pl := &harness.SimPlatform{Seed: 1}
+	var mu sync.Mutex
+	tally := map[Op]int{}
+	pl.Run(1, func(w *harness.Worker) {
+		for i := 0; i < 23_000; i++ {
+			op := DrawOp(w)
+			mu.Lock()
+			tally[op]++
+			mu.Unlock()
+		}
+	})
+	if tally[OpNewOrder] < 8_000 || tally[OpNewOrder] > 12_000 {
+		t.Fatalf("NewOrder share off: %d", tally[OpNewOrder])
+	}
+	if tally[OpDelivery] < 600 || tally[OpDelivery] > 1_400 {
+		t.Fatalf("Delivery share off: %d", tally[OpDelivery])
+	}
+}
+
+// TestFigure4Smoke runs a miniature Figure 4 sweep and checks the
+// paper's qualitative result: the Baseline fails to scale while the
+// Transactional configuration scales substantially, with Open in
+// between.
+func TestFigure4Smoke(t *testing.T) {
+	p := DefaultParams()
+	fig := RunFigure4([]int{1, 8}, 512, p, 11)
+	get := func(name string, cpus int) float64 {
+		for _, s := range fig.Series {
+			if s.Name == name {
+				return s.Speedup[cpus]
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	base8 := get("Atomos Baseline", 8)
+	open8 := get("Atomos Open", 8)
+	trans8 := get("Atomos Transactional", 8)
+	if trans8 < 2*base8 {
+		t.Errorf("Transactional (%.2f) should far outscale Baseline (%.2f) at 8 CPUs", trans8, base8)
+	}
+	if open8 <= base8 {
+		t.Errorf("Open (%.2f) should outscale Baseline (%.2f)", open8, base8)
+	}
+	if trans8 < 4 {
+		t.Errorf("Transactional speedup at 8 CPUs = %.2f, want >= 4", trans8)
+	}
+}

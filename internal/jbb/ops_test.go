@@ -1,0 +1,238 @@
+package jbb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tcc/internal/harness"
+	"tcc/internal/stm"
+)
+
+// runOps drives exactly the given operations through one worker on the
+// simulator and returns the tally.
+func runOps(pl *harness.SimPlatform, wh Warehouse, ops []Op) Counts {
+	var total Counts
+	pl.Run(1, func(w *harness.Worker) {
+		for _, op := range ops {
+			total.Add(wh.Do(w, op))
+		}
+	})
+	return total
+}
+
+func eachConfig(t *testing.T, fn func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params)) {
+	t.Helper()
+	for _, cfg := range []Config{ConfigJava, ConfigAtomosBaseline, ConfigAtomosOpen, ConfigAtomosTransactional} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			p := DefaultParams()
+			p.Compute = 50
+			pl := &harness.SimPlatform{Seed: 4}
+			var wh Warehouse
+			if cfg == ConfigJava {
+				wh = NewJavaWarehouse(p, pl)
+			} else {
+				wh = NewAtomosWarehouse(cfg, p)
+			}
+			fn(t, cfg, wh, pl, p)
+		})
+	}
+}
+
+func TestNewOrderGrowsTables(t *testing.T) {
+	eachConfig(t, func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params) {
+		counts := runOps(pl, wh, []Op{OpNewOrder, OpNewOrder, OpNewOrder})
+		if counts.NewOrders != 3 {
+			t.Fatalf("counts = %+v", counts)
+		}
+		if err := wh.Check(counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeliveryConsumesOldestOrder(t *testing.T) {
+	eachConfig(t, func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params) {
+		// InitialOrders pre-populate the newOrder table, so the first
+		// deliveries always find work.
+		counts := runOps(pl, wh, []Op{OpDelivery, OpDelivery})
+		if counts.Deliveries != 2 || counts.EmptyDeliveries != 0 {
+			t.Fatalf("counts = %+v", counts)
+		}
+		if err := wh.Check(counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDeliveryOnDrainedTableReportsEmpty(t *testing.T) {
+	eachConfig(t, func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params) {
+		ops := make([]Op, 0, p.InitialOrders+2)
+		for i := 0; i < p.InitialOrders+2; i++ {
+			ops = append(ops, OpDelivery)
+		}
+		counts := runOps(pl, wh, ops)
+		if counts.Deliveries != int64(p.InitialOrders) {
+			t.Fatalf("delivered %d, want %d", counts.Deliveries, p.InitialOrders)
+		}
+		if counts.EmptyDeliveries != 2 {
+			t.Fatalf("empty deliveries = %d, want 2", counts.EmptyDeliveries)
+		}
+		if err := wh.Check(counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPaymentAccumulatesYtd(t *testing.T) {
+	eachConfig(t, func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params) {
+		counts := runOps(pl, wh, []Op{OpPayment, OpPayment, OpPayment, OpPayment})
+		if counts.Payments != 4 || counts.PaymentTotal <= 0 {
+			t.Fatalf("counts = %+v", counts)
+		}
+		if err := wh.Check(counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReadOnlyOpsLeaveStateUntouched(t *testing.T) {
+	eachConfig(t, func(t *testing.T, cfg Config, wh Warehouse, pl *harness.SimPlatform, p Params) {
+		counts := runOps(pl, wh, []Op{OpOrderStatus, OpStockLevel, OpOrderStatus})
+		if counts.OrderStatuses != 2 || counts.StockLevels != 1 {
+			t.Fatalf("counts = %+v", counts)
+		}
+		if err := wh.Check(counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTransactionalLostWorkIsAttributed checks that the Transactional
+// configuration's violation profile names the warehouse structures —
+// the reproduction of the paper's TAPE-based conflict analysis.
+func TestTransactionalLostWorkIsAttributed(t *testing.T) {
+	p := DefaultParams()
+	pl := &harness.SimPlatform{Seed: 11}
+	wh := NewAtomosWarehouse(ConfigAtomosTransactional, p)
+	var mu sync.Mutex
+	var counts Counts
+	var stats stm.Stats
+	res := pl.Run(16, func(w *harness.Worker) {
+		var local Counts
+		for i := 0; i < 64; i++ {
+			local.Add(wh.Do(w, DrawOp(w)))
+		}
+		mu.Lock()
+		counts.Add(local)
+		mu.Unlock()
+	})
+	stats = res.Stats
+	if err := wh.Check(counts); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Violations == 0 {
+		t.Skip("no semantic conflicts occurred at this scale/seed")
+	}
+	profile := harness.FormatViolationProfile(stats, 5)
+	if !strings.Contains(profile, "District") && !strings.Contains(profile, "Warehouse") {
+		t.Fatalf("lost-work profile does not attribute structures: %q", profile)
+	}
+}
+
+// TestJavaAndAtomosAgreeOnFinalCounts runs identical deterministic op
+// streams through Java and Transactional warehouses; the table sizes
+// must agree (both executed the same committed work).
+func TestJavaAndAtomosAgreeOnFinalCounts(t *testing.T) {
+	p := DefaultParams()
+	p.Compute = 50
+	ops := []Op{
+		OpNewOrder, OpPayment, OpNewOrder, OpDelivery, OpOrderStatus,
+		OpStockLevel, OpPayment, OpNewOrder, OpDelivery, OpPayment,
+	}
+	plJ := &harness.SimPlatform{Seed: 6}
+	whJ := NewJavaWarehouse(p, plJ)
+	cJ := runOps(plJ, whJ, ops)
+
+	plA := &harness.SimPlatform{Seed: 6}
+	whA := NewAtomosWarehouse(ConfigAtomosTransactional, p)
+	cA := runOps(plA, whA, ops)
+
+	if cJ.NewOrders != cA.NewOrders || cJ.Payments != cA.Payments || cJ.Deliveries != cA.Deliveries {
+		t.Fatalf("count mismatch: java %+v vs atomos %+v", cJ, cA)
+	}
+	if err := whJ.Check(cJ); err != nil {
+		t.Fatal(err)
+	}
+	if err := whA.Check(cA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiDistrictConsistency exercises the SPECjbb-standard layout
+// (10 districts per warehouse) across all configurations.
+func TestMultiDistrictConsistency(t *testing.T) {
+	for _, cfg := range []Config{ConfigJava, ConfigAtomosBaseline, ConfigAtomosOpen, ConfigAtomosTransactional} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			p := DefaultParams()
+			p.Compute = 100
+			p.Districts = 10
+			pl := &harness.SimPlatform{Seed: 8}
+			var wh Warehouse
+			if cfg == ConfigJava {
+				wh = NewJavaWarehouse(p, pl)
+			} else {
+				wh = NewAtomosWarehouse(cfg, p)
+			}
+			var mu sync.Mutex
+			var counts Counts
+			pl.Run(8, func(w *harness.Worker) {
+				var local Counts
+				for i := 0; i < 40; i++ {
+					local.Add(wh.Do(w, DrawOp(w)))
+				}
+				mu.Lock()
+				counts.Add(local)
+				mu.Unlock()
+			})
+			if err := wh.Check(counts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDistrictsSpreadContention: with 10 districts the Baseline's
+// district-level conflicts spread out, but its warehouse-level counter
+// still serializes everything — districts alone don't rescue it, which
+// is why the paper needed open nesting.
+func TestDistrictsSpreadContention(t *testing.T) {
+	run := func(cfg Config, districts int) float64 {
+		p := DefaultParams()
+		p.Districts = districts
+		pl := &harness.SimPlatform{Seed: 12}
+		var wh Warehouse
+		if cfg == ConfigJava {
+			wh = NewJavaWarehouse(p, pl)
+		} else {
+			wh = NewAtomosWarehouse(cfg, p)
+		}
+		res := pl.Run(16, func(w *harness.Worker) {
+			for i := 0; i < 64; i++ {
+				wh.Do(w, DrawOp(w))
+			}
+		})
+		return res.Elapsed
+	}
+	base1 := run(ConfigAtomosBaseline, 1)
+	base10 := run(ConfigAtomosBaseline, 10)
+	if base10 > base1*1.2 {
+		t.Errorf("baseline slowed down with more districts: %.0f vs %.0f", base10, base1)
+	}
+	// The warehouse-level counter keeps the Baseline near-serial even
+	// with 10 districts: it must remain far slower than Transactional.
+	trans10 := run(ConfigAtomosTransactional, 10)
+	if base10 < 2*trans10 {
+		t.Errorf("baseline (%.0f) should remain much slower than transactional (%.0f) despite districts", base10, trans10)
+	}
+}

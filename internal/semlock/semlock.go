@@ -1,0 +1,190 @@
+// Package semlock implements the semantic lock tables of the paper's
+// Tables 2, 5 and 8: key locks, size/empty/endpoint locks, and key-range
+// locks, each mapping abstract state to the set of top-level
+// transactions that have read it.
+//
+// Read operations take locks while executing (inside the collection's
+// open-nested critical section); write operations detect conflicts at
+// commit time by violating every other holder of the abstract state
+// they change. The tables carry no internal synchronization: each
+// transactional collection instance guards its tables with the same
+// short critical section that protects the wrapped structure, which is
+// this implementation's stand-in for the paper's low-level open-nested
+// memory transactions (DESIGN.md §4, substitution 3).
+package semlock
+
+import "tcc/internal/stm"
+
+// Owner identifies a lock-holding top-level transaction; violating an
+// owner aborts that transaction (paper §4, program-directed abort).
+type Owner = *stm.Handle
+
+// OwnerSet is a single abstract lock — the size lock, the empty lock,
+// or a first/last endpoint lock — held by any number of readers.
+type OwnerSet struct {
+	owners map[Owner]struct{}
+}
+
+// NewOwnerSet creates an empty lock.
+func NewOwnerSet() *OwnerSet {
+	return &OwnerSet{owners: make(map[Owner]struct{})}
+}
+
+// Lock records o as a holder; re-locking is idempotent.
+func (s *OwnerSet) Lock(o Owner) { s.owners[o] = struct{}{} }
+
+// Unlock removes o; unlocking a non-holder is a no-op.
+func (s *OwnerSet) Unlock(o Owner) { delete(s.owners, o) }
+
+// Holds reports whether o holds the lock.
+func (s *OwnerSet) Holds(o Owner) bool {
+	_, ok := s.owners[o]
+	return ok
+}
+
+// Len returns the number of holders.
+func (s *OwnerSet) Len() int { return len(s.owners) }
+
+// ViolateOthers aborts every holder other than self and returns how
+// many Violate calls actually landed on still-active transactions.
+func (s *OwnerSet) ViolateOthers(self Owner, reason string) int {
+	n := 0
+	for o := range s.owners {
+		if o == self {
+			continue
+		}
+		if o.Violate(reason) {
+			n++
+		}
+	}
+	return n
+}
+
+// KeyTable is the key2lockers table of paper Table 3: for each key, the
+// set of transactions that have read that key's mapping (or its
+// absence).
+type KeyTable[K comparable] struct {
+	lockers map[K]map[Owner]struct{}
+}
+
+// NewKeyTable creates an empty table.
+func NewKeyTable[K comparable]() *KeyTable[K] {
+	return &KeyTable[K]{lockers: make(map[K]map[Owner]struct{})}
+}
+
+// Lock records o as a reader of key k.
+func (t *KeyTable[K]) Lock(k K, o Owner) {
+	s := t.lockers[k]
+	if s == nil {
+		s = make(map[Owner]struct{})
+		t.lockers[k] = s
+	}
+	s[o] = struct{}{}
+}
+
+// Unlock removes o as a reader of k, dropping empty entries so the
+// table does not grow with dead keys.
+func (t *KeyTable[K]) Unlock(k K, o Owner) {
+	s := t.lockers[k]
+	if s == nil {
+		return
+	}
+	delete(s, o)
+	if len(s) == 0 {
+		delete(t.lockers, k)
+	}
+}
+
+// Holds reports whether o holds a lock on k.
+func (t *KeyTable[K]) Holds(k K, o Owner) bool {
+	_, ok := t.lockers[k][o]
+	return ok
+}
+
+// Locked reports whether any transaction holds a lock on k.
+func (t *KeyTable[K]) Locked(k K) bool { return len(t.lockers[k]) > 0 }
+
+// ViolateOthers aborts every reader of k other than self.
+func (t *KeyTable[K]) ViolateOthers(k K, self Owner, reason string) int {
+	n := 0
+	for o := range t.lockers[k] {
+		if o == self {
+			continue
+		}
+		if o.Violate(reason) {
+			n++
+		}
+	}
+	return n
+}
+
+// RangeEntry is one key-range lock, typically owned by an iterator or a
+// navigation query: the interval of keys whose membership the owner has
+// observed. Lo and Hi are nil when unbounded; Lo is inclusive unless
+// LoExcl is set (a HigherKey query's strict bound), Hi is inclusive
+// unless HiExcl is set (a view's exclusive upper bound or a LowerKey
+// query's strict bound).
+type RangeEntry[K comparable] struct {
+	Lo, Hi *K
+	LoExcl bool
+	HiExcl bool
+	Owner  Owner
+}
+
+// RangeTable is the rangeLockers set of paper Table 6. As the paper
+// does, it is a simple set scanned linearly for conflicts — "an
+// alternative would have been to use an interval tree, but the extra
+// complexity and potential overhead seemed unnecessary for the common
+// case" (§3.2).
+type RangeTable[K comparable] struct {
+	cmp     func(a, b K) int
+	entries map[*RangeEntry[K]]struct{}
+}
+
+// NewRangeTable creates an empty table ordered by cmp.
+func NewRangeTable[K comparable](cmp func(a, b K) int) *RangeTable[K] {
+	return &RangeTable[K]{cmp: cmp, entries: make(map[*RangeEntry[K]]struct{})}
+}
+
+// Add inserts e; the caller keeps the pointer and may widen e's bounds
+// in place as its iterator advances (under the same critical section
+// that guards the table).
+func (t *RangeTable[K]) Add(e *RangeEntry[K]) { t.entries[e] = struct{}{} }
+
+// Remove deletes e.
+func (t *RangeTable[K]) Remove(e *RangeEntry[K]) { delete(t.entries, e) }
+
+// Len returns the number of range locks.
+func (t *RangeTable[K]) Len() int { return len(t.entries) }
+
+// Covers reports whether e's interval contains k.
+func (t *RangeTable[K]) Covers(e *RangeEntry[K], k K) bool {
+	if e.Lo != nil {
+		c := t.cmp(k, *e.Lo)
+		if c < 0 || (c == 0 && e.LoExcl) {
+			return false
+		}
+	}
+	if e.Hi != nil {
+		c := t.cmp(k, *e.Hi)
+		if c > 0 || (c == 0 && e.HiExcl) {
+			return false
+		}
+	}
+	return true
+}
+
+// ViolateCovering aborts the owner of every range containing k, other
+// than self.
+func (t *RangeTable[K]) ViolateCovering(k K, self Owner, reason string) int {
+	n := 0
+	for e := range t.entries {
+		if e.Owner == self || !t.Covers(e, k) {
+			continue
+		}
+		if e.Owner.Violate(reason) {
+			n++
+		}
+	}
+	return n
+}

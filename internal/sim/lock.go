@@ -1,0 +1,58 @@
+package sim
+
+// Lock is a mutex that costs virtual time: a CPU that finds the lock
+// held blocks until the holder releases it, and its clock is advanced to
+// the release time. This models the queueing behaviour of Java
+// `synchronized` regions on the paper's CMP, which a real sync.Mutex
+// cannot (under the simulator only one goroutine runs at a time, so a
+// real mutex is never contended).
+//
+// Lock state is only ever touched by the currently scheduled CPU, so no
+// host-level synchronization is needed.
+type Lock struct {
+	holder  *CPU
+	waiters []*CPU
+}
+
+// AcquireCost and ReleaseCost are the cycles charged for an uncontended
+// lock operation, approximating the paper's MESI-coherence lock cost.
+const (
+	AcquireCost = 5
+	ReleaseCost = 5
+)
+
+// Acquire takes the lock on behalf of c, blocking (in virtual time)
+// while another CPU holds it.
+func (l *Lock) Acquire(c *CPU) {
+	c.Tick(AcquireCost)
+	if l.holder == nil {
+		l.holder = c
+		return
+	}
+	if l.holder == c {
+		panic("sim: recursive Lock.Acquire")
+	}
+	l.waiters = append(l.waiters, c)
+	c.block()
+	// When we run again, Release has made us the holder and advanced
+	// our clock to the release time.
+	if l.holder != c {
+		panic("sim: woken waiter is not holder")
+	}
+}
+
+// Release hands the lock to the longest-waiting CPU, if any.
+func (l *Lock) Release(c *CPU) {
+	if l.holder != c {
+		panic("sim: Lock.Release by non-holder")
+	}
+	c.Tick(ReleaseCost)
+	if len(l.waiters) == 0 {
+		l.holder = nil
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	l.holder = next
+	next.unblock(c.now)
+}

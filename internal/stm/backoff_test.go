@@ -1,0 +1,79 @@
+package stm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExponentialBackoffGrowsAndCaps(t *testing.T) {
+	p := ExponentialBackoff{Base: 16, MaxShift: 4}
+	rng := rand.New(rand.NewSource(1))
+	prev := uint64(0)
+	for attempt := 0; attempt < 4; attempt++ {
+		// Average over jitter.
+		var sum uint64
+		for i := 0; i < 100; i++ {
+			sum += p.Backoff(attempt, rng)
+		}
+		avg := sum / 100
+		if avg <= prev {
+			t.Fatalf("attempt %d: avg %d did not grow past %d", attempt, avg, prev)
+		}
+		prev = avg
+	}
+	// Beyond MaxShift the bound stops growing.
+	max := uint64(0)
+	for i := 0; i < 1000; i++ {
+		if b := p.Backoff(100, rng); b > max {
+			max = b
+		}
+	}
+	if max > 16<<4*2 {
+		t.Fatalf("capped backoff produced %d", max)
+	}
+}
+
+func TestLinearBackoffGrowsLinearly(t *testing.T) {
+	p := LinearBackoff{Base: 10}
+	rng := rand.New(rand.NewSource(1))
+	b0 := p.Backoff(0, rng)
+	b9 := p.Backoff(9, rng)
+	if b9 < 5*b0 {
+		t.Fatalf("linear growth too shallow: %d vs %d", b0, b9)
+	}
+}
+
+func TestAggressiveRetryIsTiny(t *testing.T) {
+	p := AggressiveRetry{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if b := p.Backoff(i, rng); b == 0 || b > 8 {
+			t.Fatalf("aggressive backoff = %d", b)
+		}
+	}
+}
+
+func TestSetBackoffPolicyIsUsed(t *testing.T) {
+	clock := &RealClock{}
+	th := NewThread(clock, 1)
+	th.SetBackoffPolicy(LinearBackoff{Base: 1000})
+	attempts := 0
+	if err := th.Atomic(func(tx *Tx) error {
+		attempts++
+		if attempts == 1 {
+			tx.bail(sigRetry, "forced")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One forced retry must have charged at least the linear base via
+	// Clock.Wait (RealClock counts waited cycles in Now).
+	if clock.Now() < 1000 {
+		t.Fatalf("custom policy not applied: clock = %d", clock.Now())
+	}
+	th.SetBackoffPolicy(nil) // restore default must not panic
+	if err := th.Atomic(func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

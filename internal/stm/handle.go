@@ -1,0 +1,98 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Status is the lifecycle state of a top-level transaction.
+type Status int32
+
+// Transaction lifecycle. Violated is reachable only from Active: once a
+// transaction is Prepared it has logically committed and can no longer
+// be aborted by anyone (the point of no return), which is what makes
+// semantic conflict detection race-free — a committer either violates a
+// still-active reader or observes that the reader already serialized
+// before it.
+const (
+	StatusActive Status = iota
+	StatusPrepared
+	StatusCommitted
+	StatusViolated
+	StatusAborted
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusPrepared:
+		return "prepared"
+	case StatusCommitted:
+		return "committed"
+	case StatusViolated:
+		return "violated"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int32(s))
+	}
+}
+
+// Handle is a shareable reference to a top-level transaction, used as
+// the owner of semantic locks. The paper (§4, "Program-directed
+// transaction abort") requires that an open-nested transaction can
+// obtain a reference to its top-level transaction, store it in a lock
+// table, and that another transaction can later use it to abort the
+// owner; Handle is that reference.
+//
+// A Handle outlives the attempt it names: after the attempt commits or
+// aborts, Violate calls become no-ops, so stale handles left in lock
+// tables are harmless until the owner's handlers clean them up.
+type Handle struct {
+	status atomic.Int32
+	// reason records why the transaction was violated, for diagnostics.
+	reason atomic.Value // string
+	// birth is the worker-local time the attempt began, available to
+	// age-based contention policies.
+	birth uint64
+}
+
+// Status returns the current lifecycle state.
+func (h *Handle) Status() Status { return Status(h.status.Load()) }
+
+// Violate requests that the owning transaction abort (program-directed
+// abort). It succeeds only while the transaction is still Active; the
+// victim observes the state change at its next transactional operation
+// or at its pre-commit check and rolls itself back. The return value
+// reports whether the victim will abort: false means the victim already
+// serialized (Prepared/Committed) or is gone, and no conflict exists.
+func (h *Handle) Violate(reason string) bool {
+	if h.status.CompareAndSwap(int32(StatusActive), int32(StatusViolated)) {
+		h.reason.Store(reason)
+		return true
+	}
+	return Status(h.status.Load()) == StatusViolated
+}
+
+// ViolationReason returns the reason recorded by the successful Violate
+// call, or "" if the transaction was never violated.
+func (h *Handle) ViolationReason() string {
+	if r, ok := h.reason.Load().(string); ok {
+		return r
+	}
+	return ""
+}
+
+// violated reports whether the transaction has been asked to abort.
+func (h *Handle) violated() bool { return h.Status() == StatusViolated }
+
+// toPrepared moves Active→Prepared, the point of no return. A failed
+// CAS means a violator won the race and the commit must be abandoned.
+func (h *Handle) toPrepared() bool {
+	return h.status.CompareAndSwap(int32(StatusActive), int32(StatusPrepared))
+}
+
+func (h *Handle) setCommitted() { h.status.Store(int32(StatusCommitted)) }
+func (h *Handle) setAborted()   { h.status.Store(int32(StatusAborted)) }

@@ -1,0 +1,292 @@
+package stm
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// commitMu serializes the window from a transaction's point of no
+// return through the completion of its commit (or abort) handlers, for
+// transactions that have handlers. On the paper's TCC hardware a commit
+// is atomic with the conflict broadcast that violates other processors;
+// without this guard a reader holding a semantic lock could slip its
+// own commit between a writer's memory commit and the writer's
+// handler-performed semantic conflict detection, breaking
+// serializability. Handler bodies are short critical sections and must
+// not charge virtual time while the guard is held (they use
+// Thread.DeferTick), so on the simulator the guard is never contended
+// and on real hardware it serializes only the brief commit windows.
+var commitMu sync.Mutex
+
+// Stats counts transactional events on one worker. Harnesses aggregate
+// them across workers to report the lost-work breakdowns the paper's
+// conflict analysis (TAPE-style, §6.3) relies on.
+type Stats struct {
+	// Commits counts committed top-level transactions.
+	Commits uint64
+	// Aborts counts top-level rollbacks due to memory-level conflicts.
+	Aborts uint64
+	// Violations counts top-level rollbacks due to program-directed
+	// aborts (semantic conflicts raised by other transactions).
+	Violations uint64
+	// UserAborts counts rollbacks requested by the program itself.
+	UserAborts uint64
+	// NestedRetries counts partial rollbacks of closed-nested levels.
+	NestedRetries uint64
+	// OpenCommits and OpenRetries count open-nested child commits and
+	// their internal conflict retries.
+	OpenCommits uint64
+	OpenRetries uint64
+	// HandlerRuns counts executed commit handlers.
+	HandlerRuns uint64
+	// ViolationsByReason breaks Violations down by the reason string the
+	// violator supplied — the lost-work attribution the paper obtained
+	// with TAPE (§6.3: "we were able to identify several global counters
+	// ... as the main sources of lost work"). Lazily allocated.
+	ViolationsByReason map[string]uint64
+}
+
+// countViolation records one program-directed abort under its reason.
+func (s *Stats) countViolation(reason string) {
+	s.Violations++
+	if reason == "" {
+		reason = "(unspecified)"
+	}
+	if s.ViolationsByReason == nil {
+		s.ViolationsByReason = make(map[string]uint64)
+	}
+	s.ViolationsByReason[reason]++
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.Violations += other.Violations
+	s.UserAborts += other.UserAborts
+	s.NestedRetries += other.NestedRetries
+	s.OpenCommits += other.OpenCommits
+	s.OpenRetries += other.OpenRetries
+	s.HandlerRuns += other.HandlerRuns
+	for reason, n := range other.ViolationsByReason {
+		if s.ViolationsByReason == nil {
+			s.ViolationsByReason = make(map[string]uint64)
+		}
+		s.ViolationsByReason[reason] += n
+	}
+}
+
+// Thread is one transactional worker: a clock for charging time, a
+// deterministic RNG for contention backoff, and event counters. Each
+// concurrent worker (goroutine or virtual CPU) needs its own Thread.
+type Thread struct {
+	// Clock charges this worker's time; on the simulator it is the
+	// worker's virtual CPU.
+	Clock Clock
+	// Stats accumulates this worker's transactional events.
+	Stats Stats
+	rng   *rand.Rand
+	inTx  bool
+	// deferred accumulates cycles charged by commit/abort handlers via
+	// DeferTick; they are flushed to the Clock once the commit guard is
+	// released.
+	deferred uint64
+	// policy is the contention-management policy; nil means the default
+	// randomized exponential backoff.
+	policy BackoffPolicy
+}
+
+// NewThread creates a worker bound to a clock, with a deterministic
+// backoff RNG seeded by seed.
+func NewThread(clock Clock, seed int64) *Thread {
+	return &Thread{Clock: clock, rng: rand.New(rand.NewSource(seed))}
+}
+
+// DeferTick records cycles to charge once the current commit or abort
+// completes. Commit and abort handlers run under the global commit
+// guard and must not advance the clock directly (on the simulator that
+// would yield while holding a host lock); they charge their work here
+// instead.
+func (t *Thread) DeferTick(cycles uint64) { t.deferred += cycles }
+
+// flushDeferred charges the accumulated handler cycles.
+func (t *Thread) flushDeferred() {
+	if t.deferred > 0 {
+		t.Clock.Tick(t.deferred)
+		t.deferred = 0
+	}
+}
+
+// backoff stalls according to the worker's contention-management
+// policy (paper §5.1 discusses the need; the default is randomized
+// exponential backoff, see BackoffPolicy for alternatives).
+func (t *Thread) backoff(attempt int) {
+	p := t.policy
+	if p == nil {
+		p = defaultPolicy
+	}
+	t.Clock.Wait(p.Backoff(attempt, t.rng))
+}
+
+// Atomic runs fn as a top-level transaction, retrying on memory
+// conflicts and program-directed aborts until it commits. If fn returns
+// an error the transaction rolls back (abort handlers run, buffered
+// writes vanish) and Atomic returns that error without retrying.
+//
+// Atomic must not be called while a transaction is already running on
+// this Thread; use tx.Nested (closed nesting) or tx.Open (open nesting)
+// instead.
+func (t *Thread) Atomic(fn func(tx *Tx) error) error {
+	if t.inTx {
+		panic("stm: nested Atomic on one Thread; use tx.Nested or tx.Open")
+	}
+	t.inTx = true
+	defer func() { t.inTx = false }()
+
+	for attempt := 0; ; attempt++ {
+		t.Clock.Tick(CostTxBegin)
+		tx := &Tx{
+			thread:      t,
+			handle:      &Handle{birth: t.Clock.Now()},
+			readVersion: globalClock.Load(),
+			cur:         newLevel(nil),
+			attempt:     attempt,
+		}
+		err, sig := runBody(func() error { return fn(tx) })
+		switch {
+		case sig == nil && err == nil:
+			if tx.commit() {
+				t.Stats.Commits++
+				return nil
+			}
+			tx.rollback()
+			if reason := tx.handle.ViolationReason(); reason != "" {
+				t.Stats.countViolation(reason)
+			} else {
+				t.Stats.Aborts++
+			}
+		case sig == nil && err != nil:
+			tx.rollback()
+			t.Stats.UserAborts++
+			return err
+		case sig.kind == sigUserAbort:
+			tx.rollback()
+			t.Stats.UserAborts++
+			return sig.err
+		case sig.kind == sigViolated:
+			tx.rollback()
+			t.Stats.countViolation(sig.reason)
+		default: // sigRetry
+			tx.rollback()
+			t.Stats.Aborts++
+		}
+		t.backoff(attempt)
+	}
+}
+
+// Open runs fn as an open-nested child transaction: its effects commit
+// immediately and become visible to all transactions regardless of
+// whether the parent later commits — the enabling mechanism for taking
+// semantic locks without retaining memory dependencies (paper §2.4,
+// §4). Handlers registered inside fn (via the child's OnCommit/OnAbort)
+// attach to the parent's current nesting level when the child commits,
+// so a later rollback of the parent runs the compensation and a commit
+// applies the buffered updates.
+//
+// Memory conflicts inside fn retry only fn. If fn returns an error the
+// child aborts: no effects, no handlers, and the error is returned with
+// the parent still viable.
+func (tx *Tx) Open(fn func(o *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx.check()
+		o := &Tx{
+			thread:      tx.thread,
+			handle:      tx.handle, // locks taken inside are owned by the top-level tx
+			outer:       tx,
+			readVersion: globalClock.Load(),
+			cur:         newLevel(nil),
+		}
+		err, sig := runBody(func() error { return fn(o) })
+		switch {
+		case sig == nil && err == nil:
+			if o.commitOpen() {
+				tx.cur.onCommit = append(tx.cur.onCommit, o.cur.onCommit...)
+				tx.cur.onAbort = append(tx.cur.onAbort, o.cur.onAbort...)
+				tx.thread.Stats.OpenCommits++
+				tx.tick(CostOpenCommit)
+				return nil
+			}
+			tx.thread.Stats.OpenRetries++
+		case sig == nil && err != nil:
+			return err
+		case sig.kind == sigRetry:
+			tx.thread.Stats.OpenRetries++
+		default:
+			// Violation or user abort of the enclosing transaction.
+			panic(sig)
+		}
+		tx.thread.backoff(attempt)
+	}
+}
+
+// commitOpen installs an open-nested child's writes immediately, like a
+// top-level commit but without touching the shared handle's lifecycle
+// (the parent remains Active) and without running handlers (they attach
+// to the parent instead). A parent violated mid-install still completes
+// the install — the attached abort handlers will compensate — and the
+// violation is observed at the parent's next check.
+func (o *Tx) commitOpen() bool {
+	l := o.cur
+	if l.parent != nil {
+		panic("stm: open commit with open nested level")
+	}
+	if len(l.writes) == 0 {
+		return true
+	}
+	cores := make([]*varCore, 0, len(l.writes))
+	for c := range l.writes {
+		cores = append(cores, c)
+	}
+	for i := 1; i < len(cores); i++ {
+		for j := i; j > 0 && cores[j].id < cores[j-1].id; j-- {
+			cores[j], cores[j-1] = cores[j-1], cores[j]
+		}
+	}
+	locked := 0
+	release := func() {
+		for _, c := range cores[:locked] {
+			c.mu.Lock()
+			c.owner = nil
+			c.mu.Unlock()
+		}
+	}
+	for _, c := range cores {
+		c.mu.Lock()
+		if c.owner != nil && c.owner != o.handle {
+			c.mu.Unlock()
+			release()
+			return false
+		}
+		c.owner = o.handle
+		c.mu.Unlock()
+		locked++
+	}
+	for c, ver := range l.reads {
+		c.mu.Lock()
+		ok := c.ver == ver && (c.owner == nil || c.owner == o.handle)
+		c.mu.Unlock()
+		if !ok {
+			release()
+			return false
+		}
+	}
+	wv := globalClock.Add(1)
+	for _, c := range cores {
+		c.mu.Lock()
+		c.val = l.writes[c]
+		c.ver = wv
+		c.owner = nil
+		c.mu.Unlock()
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package stm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// signal is the panic payload used for non-local transaction control
+// flow. Real panics are not wrapped and propagate unchanged.
+type signal struct {
+	kind   sigKind
+	reason string
+	err    error // for sigUserAbort
+}
+
+type sigKind int
+
+const (
+	// sigRetry: a memory-level conflict; the innermost retryable scope
+	// (nested level or top-level attempt) re-executes.
+	sigRetry sigKind = iota
+	// sigViolated: another transaction performed a program-directed
+	// abort of this one; always unwinds to the top level, which rolls
+	// back and retries.
+	sigViolated
+	// sigUserAbort: tx.Abort(err) was called; unwinds to the top level,
+	// which rolls back and returns err to the caller of Atomic.
+	sigUserAbort
+)
+
+func (s *signal) String() string {
+	return fmt.Sprintf("stm signal %d (%s)", s.kind, s.reason)
+}
+
+// handler is a registered commit or abort handler.
+type handler func()
+
+// level is one closed-nesting level of a transaction: private read and
+// write sets plus the commit/abort handlers registered while it was the
+// current level. Committing a level merges everything into its parent;
+// aborting it discards the sets, runs its abort handlers (compensation
+// for open-nested effects made at this level), and discards its commit
+// handlers — the handler semantics of paper §4.
+type level struct {
+	parent   *level
+	reads    map[*varCore]uint64
+	writes   map[*varCore]any
+	onCommit []handler
+	onAbort  []handler
+}
+
+func newLevel(parent *level) *level {
+	return &level{
+		parent: parent,
+		reads:  make(map[*varCore]uint64),
+		writes: make(map[*varCore]any),
+	}
+}
+
+// Tx is a transaction: either a top-level atomic region, or an
+// open-nested child (created by Open) that commits its effects
+// immediately. Closed nesting does not create a new Tx; it pushes a new
+// level onto the same Tx.
+type Tx struct {
+	thread *Thread
+	// handle identifies the top-level transaction; open-nested children
+	// share their top-level ancestor's handle so semantic locks they
+	// take are owned by the outermost transaction (paper §3.1: "The
+	// owner of a lock is the top-level transaction at the time of the
+	// read operation, not the open-nested transaction that actually
+	// performs the read").
+	handle *Handle
+	// outer is the enclosing Tx for an open-nested child, nil for a
+	// top-level transaction.
+	outer *Tx
+	// readVersion is this Tx's TL2 snapshot version; an open-nested
+	// child samples its own, newer snapshot.
+	readVersion uint64
+	cur         *level
+	// locals holds per-transaction attachments keyed by arbitrary
+	// comparable keys; the transactional collections store their
+	// thread-local buffers and lock sets here (paper Tables 3, 6, 9
+	// "Local Transaction State"). Only the top-level Tx has locals.
+	locals map[any]any
+	// attempt counts restarts of this top-level transaction, feeding
+	// the contention manager's backoff.
+	attempt int
+}
+
+// Thread returns the worker this transaction runs on.
+func (tx *Tx) Thread() *Thread { return tx.thread }
+
+// Handle returns the top-level transaction's handle, suitable for use as
+// the owner of semantic locks and as a target of Violate.
+func (tx *Tx) Handle() *Handle { return tx.handle }
+
+// Attempt returns how many times this top-level transaction has been
+// restarted (0 on the first attempt).
+func (tx *Tx) Attempt() int { return tx.top().attempt }
+
+// top returns the outermost Tx (self for top-level transactions).
+func (tx *Tx) top() *Tx {
+	t := tx
+	for t.outer != nil {
+		t = t.outer
+	}
+	return t
+}
+
+// Local returns the attachment stored under key on the top-level
+// transaction, or nil.
+func (tx *Tx) Local(key any) any { return tx.top().locals[key] }
+
+// SetLocal stores an attachment under key on the top-level transaction.
+// Attachments live for one attempt: a restart begins with no
+// attachments, so collections re-register their buffers and handlers.
+func (tx *Tx) SetLocal(key, val any) {
+	t := tx.top()
+	if t.locals == nil {
+		t.locals = make(map[any]any)
+	}
+	t.locals[key] = val
+}
+
+// OnCommit registers fn to run if the transaction commits. The handler
+// is associated with the current nesting level: it is discarded if that
+// level aborts, promoted to the parent when the level commits, and runs
+// (in registration order) after the top-level transaction's memory
+// commit succeeds. Registering from an open-nested child attaches the
+// handler to the child's *enclosing* level once the child commits.
+func (tx *Tx) OnCommit(fn func()) { tx.cur.onCommit = append(tx.cur.onCommit, fn) }
+
+// OnAbort registers fn to run if the level it is associated with — and
+// therefore the work it compensates for — is rolled back: it runs
+// (newest-first) when that level or any enclosing level aborts, and is
+// discarded once the top-level transaction commits. Abort handlers are
+// the compensation mechanism that undoes effects published by
+// open-nested children (paper §4).
+func (tx *Tx) OnAbort(fn func()) { tx.cur.onAbort = append(tx.cur.onAbort, fn) }
+
+// OnTopCommit registers fn at the top-level transaction's root nesting
+// level, regardless of the current nesting depth. The transactional
+// collection classes use this (together with OnTopAbort) to implement
+// the paper's §5 guideline of a single commit handler and a single
+// abort handler per transaction and collection, registered by the first
+// operation; see the internal/core package documentation for the
+// resulting closed-nesting caveat.
+func (tx *Tx) OnTopCommit(fn func()) {
+	l := tx.top().rootLevel()
+	l.onCommit = append(l.onCommit, fn)
+}
+
+// OnTopAbort registers fn at the top-level transaction's root nesting
+// level; it runs if and only if the whole transaction rolls back.
+func (tx *Tx) OnTopAbort(fn func()) {
+	l := tx.top().rootLevel()
+	l.onAbort = append(l.onAbort, fn)
+}
+
+func (tx *Tx) rootLevel() *level {
+	l := tx.cur
+	for l.parent != nil {
+		l = l.parent
+	}
+	return l
+}
+
+// Poll gives the STM an opportunity to observe a pending violation in
+// the middle of long straight-line computation; it unwinds to the
+// top-level retry loop if another transaction has aborted this one.
+func (tx *Tx) Poll() { tx.check() }
+
+// Abort rolls the transaction back and makes Atomic return err without
+// retrying (the self-abort of paper §4, for consistency violations
+// detected by the program).
+func (tx *Tx) Abort(err error) {
+	panic(&signal{kind: sigUserAbort, reason: "self abort", err: err})
+}
+
+// check unwinds if this transaction has been violated.
+func (tx *Tx) check() {
+	if tx.handle.violated() {
+		panic(&signal{kind: sigViolated, reason: tx.handle.ViolationReason()})
+	}
+}
+
+// bail unwinds with the given signal kind.
+func (tx *Tx) bail(kind sigKind, reason string) {
+	panic(&signal{kind: kind, reason: reason})
+}
+
+func (tx *Tx) tick(cycles uint64) { tx.thread.Clock.Tick(cycles) }
+
+// extend attempts TL2 read-version extension: if every read recorded so
+// far is still at its recorded version and unlocked, the snapshot can be
+// moved forward to the current global clock, allowing a read of a newer
+// variable to proceed without aborting.
+func (tx *Tx) extend() bool {
+	now := globalClock.Load()
+	for l := tx.cur; l != nil; l = l.parent {
+		for c, ver := range l.reads {
+			cur, locked := c.peek(tx.handle)
+			if locked || cur != ver {
+				return false
+			}
+		}
+	}
+	tx.readVersion = now
+	return true
+}
+
+// Nested runs fn as a closed-nested transaction with partial rollback:
+// a memory conflict inside fn rolls back and retries only fn, not the
+// enclosing transaction. On success the child's reads, writes and
+// handlers merge into the parent level. If fn returns an error the
+// child aborts (its abort handlers run, its buffered writes vanish) and
+// the error is returned to the caller, with the parent still viable.
+//
+// The paper requires this so commit handlers that apply buffered
+// collection updates can conflict and replay without re-executing the
+// long-running parent (§4 "Nested transactions: open and closed").
+func (tx *Tx) Nested(fn func() error) error {
+	for childAttempt := 0; ; childAttempt++ {
+		tx.check()
+		child := newLevel(tx.cur)
+		tx.cur = child
+		err, sig := runBody(fn)
+		tx.cur = child.parent
+		switch {
+		case sig == nil && err == nil:
+			// Child commits: merge into parent.
+			for c, ver := range child.reads {
+				if _, dup := tx.cur.reads[c]; !dup {
+					tx.cur.reads[c] = ver
+				}
+			}
+			for c, val := range child.writes {
+				tx.cur.writes[c] = val
+			}
+			tx.cur.onCommit = append(tx.cur.onCommit, child.onCommit...)
+			tx.cur.onAbort = append(tx.cur.onAbort, child.onAbort...)
+			return nil
+		case sig == nil && err != nil:
+			// Child aborts by user request: compensate and report.
+			child.runAbortHandlers()
+			return err
+		case sig.kind == sigRetry:
+			// Memory conflict inside the child: partial rollback. The
+			// child can only make progress on retry if the snapshot can
+			// be extended past the conflicting commit; otherwise some
+			// enclosing read is stale and the whole transaction must
+			// restart.
+			child.runAbortHandlers()
+			tx.thread.Stats.NestedRetries++
+			if !tx.extend() {
+				panic(sig)
+			}
+			tx.thread.backoff(childAttempt)
+		default:
+			// Violation or user abort of the whole transaction: this
+			// child level is rolled back on the way out.
+			child.runAbortHandlers()
+			panic(sig)
+		}
+	}
+}
+
+// runAbortHandlers runs a level's abort handlers newest-first, so
+// compensations undo open-nested effects in reverse order of their
+// creation.
+func (l *level) runAbortHandlers() {
+	for i := len(l.onAbort) - 1; i >= 0; i-- {
+		l.onAbort[i]()
+	}
+	l.onAbort = nil
+	l.onCommit = nil
+}
+
+// runBody executes fn, converting signal panics into return values and
+// letting real panics propagate.
+func runBody(fn func() error) (err error, sig *signal) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s, ok := r.(*signal); ok {
+				sig = s
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = fn()
+	return
+}
+
+// commit attempts the top-level TL2 commit: lock the write set in
+// variable-ID order, validate the read set, pass the point of no return
+// (Active→Prepared, losing to any in-flight Violate), install at a
+// fresh clock tick, then run commit handlers in registration order.
+// For transactions with handlers the whole sequence runs under the
+// global commit guard so that semantic conflict detection is atomic
+// with the commit (see commitMu). It reports whether the transaction
+// committed.
+func (tx *Tx) commit() bool {
+	l := tx.cur
+	if l.parent != nil {
+		panic("stm: commit with open nested level")
+	}
+	guarded := len(l.onCommit) > 0 || len(l.onAbort) > 0
+	if guarded {
+		commitMu.Lock()
+	}
+	ok := tx.commitGuarded(l)
+	if guarded {
+		commitMu.Unlock()
+	}
+	if ok {
+		tx.tick(CostCommitBase + CostCommitPerWrite*uint64(len(l.writes)))
+		tx.thread.flushDeferred()
+	}
+	return ok
+}
+
+// commitGuarded performs validation, installation and handler execution
+// without charging any clock time (the caller ticks afterwards, outside
+// the commit guard).
+func (tx *Tx) commitGuarded(l *level) bool {
+	if len(l.writes) == 0 {
+		// Read-only fast path: every read was validated against the
+		// snapshot when it happened, so the transaction is serializable
+		// at readVersion. Only the violation race remains.
+		if !tx.handle.toPrepared() {
+			return false
+		}
+	} else {
+		cores := make([]*varCore, 0, len(l.writes))
+		for c := range l.writes {
+			cores = append(cores, c)
+		}
+		sort.Slice(cores, func(i, j int) bool { return cores[i].id < cores[j].id })
+		locked := 0
+		release := func() {
+			for _, c := range cores[:locked] {
+				c.mu.Lock()
+				c.owner = nil
+				c.mu.Unlock()
+			}
+		}
+		for _, c := range cores {
+			c.mu.Lock()
+			if c.owner != nil && c.owner != tx.handle {
+				c.mu.Unlock()
+				release()
+				return false
+			}
+			c.owner = tx.handle
+			c.mu.Unlock()
+			locked++
+		}
+		for c, ver := range l.reads {
+			c.mu.Lock()
+			ok := c.ver == ver && (c.owner == nil || c.owner == tx.handle)
+			c.mu.Unlock()
+			if !ok {
+				release()
+				return false
+			}
+		}
+		if !tx.handle.toPrepared() {
+			release()
+			return false
+		}
+		wv := globalClock.Add(1)
+		for _, c := range cores {
+			c.mu.Lock()
+			c.val = l.writes[c]
+			c.ver = wv
+			c.owner = nil
+			c.mu.Unlock()
+		}
+	}
+	tx.handle.setCommitted()
+	for _, h := range l.onCommit {
+		h()
+		tx.thread.Stats.HandlerRuns++
+	}
+	return true
+}
+
+// rollback discards the transaction's buffered writes and runs its abort
+// handlers (compensating any open-nested effects) under the commit
+// guard, so compensations are atomic with respect to other
+// transactions' commits.
+func (tx *Tx) rollback() {
+	tx.handle.setAborted()
+	guarded := false
+	for l := tx.cur; l != nil; l = l.parent {
+		if len(l.onAbort) > 0 {
+			guarded = true
+		}
+	}
+	if guarded {
+		commitMu.Lock()
+	}
+	for l := tx.cur; l != nil; l = l.parent {
+		l.runAbortHandlers()
+	}
+	if guarded {
+		commitMu.Unlock()
+	}
+	tx.tick(CostAbort)
+	tx.thread.flushDeferred()
+}

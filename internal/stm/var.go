@@ -1,0 +1,129 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// globalClock is the TL2 global version clock. It is package-global so
+// that variables created by independent experiments in one process share
+// a single monotonically increasing version space, which keeps version
+// comparisons correct without threading a runtime object everywhere.
+var globalClock atomic.Uint64
+
+// globalVarID hands out the total order used to acquire write-set locks
+// deadlock-free at commit.
+var globalVarID atomic.Uint64
+
+// varCore is the untyped heart of a transactional variable: a value, the
+// version of the commit that produced it, and a write-lock owner set
+// only while a committing transaction is installing into it.
+type varCore struct {
+	id    uint64
+	mu    sync.Mutex
+	val   any
+	ver   uint64
+	owner *Handle
+}
+
+// sample returns a consistent (value, version) pair, spinning in virtual
+// time while another transaction is mid-install on this variable.
+func (c *varCore) sample(tx *Tx) (any, uint64) {
+	for spin := 0; ; spin++ {
+		c.mu.Lock()
+		if c.owner != nil && c.owner != tx.handle {
+			c.mu.Unlock()
+			tx.check()
+			if spin >= 64 {
+				// The owner may itself be stalled behind us in some
+				// larger scheme; give up the attempt rather than spin
+				// forever.
+				tx.bail(sigRetry, "variable locked by committer")
+			}
+			tx.thread.Clock.Wait(4)
+			continue
+		}
+		v, ver := c.val, c.ver
+		c.mu.Unlock()
+		return v, ver
+	}
+}
+
+// peek reports the current version and whether the variable is
+// write-locked by a transaction other than self.
+func (c *varCore) peek(self *Handle) (ver uint64, lockedByOther bool) {
+	c.mu.Lock()
+	ver = c.ver
+	lockedByOther = c.owner != nil && c.owner != self
+	c.mu.Unlock()
+	return
+}
+
+// Var is a transactional variable holding a value of type T. All reads
+// and writes inside transactions go through Get and Set; vars give the
+// STM the per-field conflict granularity that lets the STM-instrumented
+// collections (internal/stmcol) exhibit exactly the memory-level
+// conflicts the paper attributes to hash-table size fields and tree
+// rotations.
+type Var[T any] struct {
+	core *varCore
+}
+
+// NewVar creates a transactional variable with an initial value. The
+// initial value is published at version 0, visible to every transaction.
+func NewVar[T any](initial T) *Var[T] {
+	return &Var[T]{core: &varCore{id: globalVarID.Add(1), val: initial}}
+}
+
+// Get returns the variable's value as seen by tx: the transaction's own
+// pending write if it has one (innermost nesting level first), otherwise
+// a validated committed value. On a consistency violation the enclosing
+// transaction (or nested level) aborts and retries via panic unwinding.
+func (v *Var[T]) Get(tx *Tx) T {
+	tx.check()
+	c := v.core
+	for l := tx.cur; l != nil; l = l.parent {
+		if val, ok := l.writes[c]; ok {
+			tx.tick(CostRead)
+			return val.(T)
+		}
+	}
+	val, ver := c.sample(tx)
+	if ver > tx.readVersion && !tx.extend() {
+		tx.bail(sigRetry, "stale read")
+	}
+	tx.cur.reads[c] = ver
+	tx.tick(CostRead)
+	return val.(T)
+}
+
+// Set buffers a write of val into tx's current nesting level (lazy
+// versioning); it becomes globally visible only if the top-level
+// transaction commits.
+func (v *Var[T]) Set(tx *Tx, val T) {
+	tx.check()
+	tx.cur.writes[v.core] = val
+	tx.tick(CostWrite)
+}
+
+// GetCommitted returns the latest committed value without any
+// transactional bookkeeping. Intended for initialization and for
+// inspecting results after all transactions have finished; using it
+// concurrently with committers yields an atomic but unordered snapshot.
+func (v *Var[T]) GetCommitted() T {
+	c := v.core
+	c.mu.Lock()
+	val := c.val
+	c.mu.Unlock()
+	return val.(T)
+}
+
+// SetCommitted installs a value outside any transaction, as if by an
+// instantly committing transaction. Intended for single-threaded setup.
+func (v *Var[T]) SetCommitted(val T) {
+	c := v.core
+	c.mu.Lock()
+	c.val = val
+	c.ver = globalClock.Add(1)
+	c.mu.Unlock()
+}

@@ -1,0 +1,179 @@
+// Package stmcol provides STM-instrumented collections: structurally the
+// same HashMap / TreeMap / Queue as internal/collections, but with every
+// mutable field held in an stm.Var so that using them *directly* inside
+// a long-running transaction creates exactly the memory-level
+// dependencies the paper describes — every insert or remove reads and
+// writes the internal size field, puts conflict on collision chains,
+// and tree rebalancing writes spill across lookup paths (§2.4).
+//
+// These are the paper's "Atomos HashMap" and "Atomos TreeMap" baseline
+// configurations. The transactional collection classes in internal/core
+// exist to replace this usage pattern.
+package stmcol
+
+import (
+	"hash/maphash"
+
+	"tcc/internal/stm"
+)
+
+var hashSeed = maphash.MakeSeed()
+
+// HashMap is a bucketed, load-factored hash table whose buckets, table
+// and size field are transactional variables. Collision chains are
+// immutable once published; mutation copies the chain prefix and swings
+// the bucket var, which gives bucket-granularity conflicts plus the
+// size-field hotspot.
+type HashMap[K comparable, V any] struct {
+	table *stm.Var[*hTable[K, V]]
+	size  *stm.Var[int]
+}
+
+type hTable[K comparable, V any] struct {
+	buckets   []*stm.Var[*hNode[K, V]]
+	threshold int
+}
+
+type hNode[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+	next *hNode[K, V]
+}
+
+const (
+	initialBuckets = 16
+	loadFactorNum  = 3
+	loadFactorDen  = 4
+)
+
+// NewHashMap creates an empty transactional hash map.
+func NewHashMap[K comparable, V any]() *HashMap[K, V] {
+	return &HashMap[K, V]{
+		table: stm.NewVar(newHTable[K, V](initialBuckets)),
+		size:  stm.NewVar(0),
+	}
+}
+
+func newHTable[K comparable, V any](n int) *hTable[K, V] {
+	t := &hTable[K, V]{
+		buckets:   make([]*stm.Var[*hNode[K, V]], n),
+		threshold: n * loadFactorNum / loadFactorDen,
+	}
+	for i := range t.buckets {
+		t.buckets[i] = stm.NewVar[*hNode[K, V]](nil)
+	}
+	return t
+}
+
+func hashKey[K comparable](k K) uint64 {
+	return maphash.Comparable(hashSeed, k)
+}
+
+func (t *hTable[K, V]) bucketFor(h uint64) *stm.Var[*hNode[K, V]] {
+	return t.buckets[int(h&uint64(len(t.buckets)-1))]
+}
+
+// Get returns the value mapped to k.
+func (m *HashMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	h := hashKey(k)
+	t := m.table.Get(tx)
+	for n := t.bucketFor(h).Get(tx); n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k is mapped.
+func (m *HashMap[K, V]) ContainsKey(tx *stm.Tx, k K) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Put maps k to v, returning the previous value if k was present. New
+// insertions read and write the shared size field — the conflict the
+// paper's §2.4 example is built around.
+func (m *HashMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
+	h := hashKey(k)
+	t := m.table.Get(tx)
+	b := t.bucketFor(h)
+	head := b.Get(tx)
+	for n := head; n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			b.Set(tx, replaceNode(head, n, &hNode[K, V]{hash: h, key: k, val: v, next: n.next}))
+			return n.val, true
+		}
+	}
+	b.Set(tx, &hNode[K, V]{hash: h, key: k, val: v, next: head})
+	sz := m.size.Get(tx) + 1
+	m.size.Set(tx, sz)
+	if sz > t.threshold {
+		m.rehash(tx, t)
+	}
+	var zero V
+	return zero, false
+}
+
+// replaceNode returns a copy of the chain with target replaced.
+func replaceNode[K comparable, V any](head, target, repl *hNode[K, V]) *hNode[K, V] {
+	if head == target {
+		return repl
+	}
+	return &hNode[K, V]{hash: head.hash, key: head.key, val: head.val, next: replaceNode(head.next, target, repl)}
+}
+
+// Remove deletes k's mapping, returning the removed value if present.
+func (m *HashMap[K, V]) Remove(tx *stm.Tx, k K) (V, bool) {
+	h := hashKey(k)
+	t := m.table.Get(tx)
+	b := t.bucketFor(h)
+	head := b.Get(tx)
+	for n := head; n != nil; n = n.next {
+		if n.hash == h && n.key == k {
+			b.Set(tx, removeNode(head, n))
+			m.size.Set(tx, m.size.Get(tx)-1)
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// removeNode returns a copy of the chain without target.
+func removeNode[K comparable, V any](head, target *hNode[K, V]) *hNode[K, V] {
+	if head == target {
+		return head.next
+	}
+	return &hNode[K, V]{hash: head.hash, key: head.key, val: head.val, next: removeNode(head.next, target)}
+}
+
+func (m *HashMap[K, V]) rehash(tx *stm.Tx, old *hTable[K, V]) {
+	nt := newHTable[K, V](len(old.buckets) * 2)
+	for _, b := range old.buckets {
+		for n := b.Get(tx); n != nil; n = n.next {
+			nb := nt.bucketFor(n.hash)
+			nb.Set(tx, &hNode[K, V]{hash: n.hash, key: n.key, val: n.val, next: nb.Get(tx)})
+		}
+	}
+	m.table.Set(tx, nt)
+}
+
+// Size returns the number of mappings; reading it depends on every
+// concurrent insert and remove, which is why the paper's size() takes a
+// semantic lock instead when wrapped.
+func (m *HashMap[K, V]) Size(tx *stm.Tx) int { return m.size.Get(tx) }
+
+// ForEach visits every mapping until fn returns false.
+func (m *HashMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
+	t := m.table.Get(tx)
+	for _, b := range t.buckets {
+		for n := b.Get(tx); n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package stmcol
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tcc/internal/stm"
+)
+
+// checkRB verifies the red-black properties of the STM tree inside a
+// transaction: black root, no red-red edges, uniform black height, BST
+// order, and consistent parent links.
+func checkRB[K comparable, V any](tx *stm.Tx, t *TreeMap[K, V]) error {
+	root := t.root.Get(tx)
+	if root == nil {
+		return nil
+	}
+	if root.red.Get(tx) {
+		return fmt.Errorf("red root")
+	}
+	_, err := checkRBNode(tx, t, root, nil)
+	return err
+}
+
+func checkRBNode[K comparable, V any](tx *stm.Tx, t *TreeMap[K, V], n, parent *TNode[K, V]) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if p := n.parent.Get(tx); p != parent {
+		return 0, fmt.Errorf("broken parent link")
+	}
+	l, r := n.left.Get(tx), n.right.Get(tx)
+	if n.red.Get(tx) && (isRed(tx, l) || isRed(tx, r)) {
+		return 0, fmt.Errorf("red-red edge")
+	}
+	k := n.key.Get(tx)
+	if l != nil && t.cmp(l.key.Get(tx), k) >= 0 {
+		return 0, fmt.Errorf("BST order violated (left)")
+	}
+	if r != nil && t.cmp(r.key.Get(tx), k) <= 0 {
+		return 0, fmt.Errorf("BST order violated (right)")
+	}
+	lh, err := checkRBNode(tx, t, l, n)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkRBNode(tx, t, r, n)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("black-height imbalance (%d vs %d)", lh, rh)
+	}
+	if n.red.Get(tx) {
+		return lh, nil
+	}
+	return lh + 1, nil
+}
+
+func TestTreeMapInvariantsUnderChurn(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	th := newTh()
+	rng := rand.New(rand.NewSource(11))
+	present := map[int]bool{}
+	for round := 0; round < 150; round++ {
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			for i := 0; i < 10; i++ {
+				k := rng.Intn(200)
+				if rng.Intn(2) == 0 {
+					m.Put(tx, k, k)
+					present[k] = true
+				} else {
+					m.Remove(tx, k)
+					delete(present, k)
+				}
+			}
+			return checkRB(tx, m)
+		}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if err := th.Atomic(func(tx *stm.Tx) error {
+		if got := m.Size(tx); got != len(present) {
+			return fmt.Errorf("size %d, want %d", got, len(present))
+		}
+		return checkRB(tx, m)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package stmcol
+
+import "tcc/internal/stm"
+
+// Queue is a linked FIFO queue whose head, tail and size are
+// transactional variables; every enqueue and dequeue conflicts on the
+// ends, which is what makes naive in-transaction work queues serialize
+// (the Delaunay motivation of paper §3.3).
+type Queue[T any] struct {
+	head, tail *stm.Var[*qNode[T]]
+	size       *stm.Var[int]
+}
+
+type qNode[T any] struct {
+	val  T
+	next *stm.Var[*qNode[T]]
+}
+
+// NewQueue creates an empty transactional queue.
+func NewQueue[T any]() *Queue[T] {
+	return &Queue[T]{
+		head: stm.NewVar[*qNode[T]](nil),
+		tail: stm.NewVar[*qNode[T]](nil),
+		size: stm.NewVar(0),
+	}
+}
+
+// Enqueue appends v at the tail.
+func (q *Queue[T]) Enqueue(tx *stm.Tx, v T) {
+	n := &qNode[T]{val: v, next: stm.NewVar[*qNode[T]](nil)}
+	t := q.tail.Get(tx)
+	if t == nil {
+		q.head.Set(tx, n)
+	} else {
+		t.next.Set(tx, n)
+	}
+	q.tail.Set(tx, n)
+	q.size.Set(tx, q.size.Get(tx)+1)
+}
+
+// Dequeue removes and returns the head element.
+func (q *Queue[T]) Dequeue(tx *stm.Tx) (T, bool) {
+	h := q.head.Get(tx)
+	if h == nil {
+		var zero T
+		return zero, false
+	}
+	next := h.next.Get(tx)
+	q.head.Set(tx, next)
+	if next == nil {
+		q.tail.Set(tx, nil)
+	}
+	q.size.Set(tx, q.size.Get(tx)-1)
+	return h.val, true
+}
+
+// Peek returns the head element without removing it.
+func (q *Queue[T]) Peek(tx *stm.Tx) (T, bool) {
+	h := q.head.Get(tx)
+	if h == nil {
+		var zero T
+		return zero, false
+	}
+	return h.val, true
+}
+
+// Size returns the number of queued elements.
+func (q *Queue[T]) Size(tx *stm.Tx) int { return q.size.Get(tx) }

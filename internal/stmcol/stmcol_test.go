@@ -1,0 +1,437 @@
+package stmcol
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"tcc/internal/stm"
+)
+
+func run1(t *testing.T, th *stm.Thread, fn func(tx *stm.Tx)) {
+	t.Helper()
+	if err := th.Atomic(func(tx *stm.Tx) error {
+		fn(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTh() *stm.Thread { return stm.NewThread(&stm.RealClock{}, 1) }
+
+func TestHashMapSingleThread(t *testing.T) {
+	m := NewHashMap[int, string]()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		if _, ok := m.Get(tx, 1); ok {
+			t.Error("empty map get succeeded")
+		}
+		if _, had := m.Put(tx, 1, "a"); had {
+			t.Error("first put had previous value")
+		}
+		if v, ok := m.Get(tx, 1); !ok || v != "a" {
+			t.Errorf("get = (%q,%v)", v, ok)
+		}
+		if old, had := m.Put(tx, 1, "b"); !had || old != "a" {
+			t.Errorf("overwrite = (%q,%v)", old, had)
+		}
+		if m.Size(tx) != 1 {
+			t.Errorf("size = %d", m.Size(tx))
+		}
+		if v, ok := m.Remove(tx, 1); !ok || v != "b" {
+			t.Errorf("remove = (%q,%v)", v, ok)
+		}
+		if m.Size(tx) != 0 {
+			t.Errorf("size after remove = %d", m.Size(tx))
+		}
+	})
+}
+
+func TestHashMapResizeInsideTx(t *testing.T) {
+	m := NewHashMap[int, int]()
+	th := newTh()
+	const n = 2000
+	run1(t, th, func(tx *stm.Tx) {
+		for i := 0; i < n; i++ {
+			m.Put(tx, i, i*3)
+		}
+	})
+	run1(t, th, func(tx *stm.Tx) {
+		if m.Size(tx) != n {
+			t.Errorf("size = %d, want %d", m.Size(tx), n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := m.Get(tx, i); !ok || v != i*3 {
+				t.Fatalf("get(%d) = (%d,%v)", i, v, ok)
+			}
+		}
+	})
+}
+
+func TestHashMapAbortRollsBack(t *testing.T) {
+	m := NewHashMap[int, int]()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) { m.Put(tx, 1, 1) })
+	errBoom := errTest("boom")
+	if err := th.Atomic(func(tx *stm.Tx) error {
+		m.Put(tx, 2, 2)
+		m.Remove(tx, 1)
+		return errBoom
+	}); err != errBoom {
+		t.Fatal(err)
+	}
+	run1(t, th, func(tx *stm.Tx) {
+		if !m.ContainsKey(tx, 1) || m.ContainsKey(tx, 2) {
+			t.Error("aborted transaction leaked structure changes")
+		}
+		if m.Size(tx) != 1 {
+			t.Errorf("size = %d, want 1", m.Size(tx))
+		}
+	})
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// TestHashMapConcurrentInsertsConflictOnSize demonstrates the paper's
+// §2.4 point: transactions inserting *different* keys still conflict
+// because both increment the shared size field. With only two workers
+// strictly alternating there must be aborts under any interleaving that
+// overlaps, which the STM's optimistic commit produces reliably when
+// bodies are forced to overlap via a barrier.
+func TestHashMapConcurrentInsertsConflictOnSize(t *testing.T) {
+	m := NewHashMap[int, int]()
+	var wg sync.WaitGroup
+	var aborts uint64
+	var mu sync.Mutex
+	const workers, per = 4, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := stm.NewThread(&stm.RealClock{}, int64(w))
+			for i := 0; i < per; i++ {
+				k := w*per + i // disjoint keys
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					m.Put(tx, k, k)
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+			mu.Lock()
+			aborts += th.Stats.Aborts
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		if m.Size(tx) != workers*per {
+			t.Errorf("size = %d, want %d (lost updates)", m.Size(tx), workers*per)
+		}
+		for w := 0; w < workers; w++ {
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if v, ok := m.Get(tx, k); !ok || v != k {
+					t.Fatalf("get(%d) = (%d,%v)", k, v, ok)
+				}
+			}
+		}
+	})
+}
+
+func TestTreeMapMatchesModel(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	ref := map[int]int{}
+	th := newTh()
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 200; round++ {
+		run1(t, th, func(tx *stm.Tx) {
+			for i := 0; i < 20; i++ {
+				k := rng.Intn(100)
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Int()
+					gotOld, gotHad := m.Put(tx, k, v)
+					wantOld, wantHad := ref[k]
+					if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+						t.Fatalf("put(%d) mismatch", k)
+					}
+					ref[k] = v
+				case 1:
+					gotOld, gotHad := m.Remove(tx, k)
+					wantOld, wantHad := ref[k]
+					if gotHad != wantHad || (wantHad && gotOld != wantOld) {
+						t.Fatalf("remove(%d) mismatch", k)
+					}
+					delete(ref, k)
+				default:
+					gotV, gotOK := m.Get(tx, k)
+					wantV, wantOK := ref[k]
+					if gotOK != wantOK || (wantOK && gotV != wantV) {
+						t.Fatalf("get(%d) mismatch", k)
+					}
+				}
+			}
+			if m.Size(tx) != len(ref) {
+				t.Fatalf("size = %d, want %d", m.Size(tx), len(ref))
+			}
+		})
+	}
+	// Ordered iteration must match the sorted reference keys.
+	keys := make([]int, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	run1(t, th, func(tx *stm.Tx) {
+		i := 0
+		m.ForEach(tx, func(k, v int) bool {
+			if i >= len(keys) || k != keys[i] || v != ref[k] {
+				t.Fatalf("iteration mismatch at %d: key %d", i, k)
+			}
+			i++
+			return true
+		})
+		if i != len(keys) {
+			t.Fatalf("visited %d keys, want %d", i, len(keys))
+		}
+	})
+}
+
+func TestTreeMapNavigation(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		for _, k := range []int{10, 20, 30} {
+			m.Put(tx, k, k)
+		}
+		if k, ok := m.FirstKey(tx); !ok || k != 10 {
+			t.Errorf("first = (%d,%v)", k, ok)
+		}
+		if k, ok := m.LastKey(tx); !ok || k != 30 {
+			t.Errorf("last = (%d,%v)", k, ok)
+		}
+		if k, ok := m.CeilingKey(tx, 15); !ok || k != 20 {
+			t.Errorf("ceiling(15) = (%d,%v)", k, ok)
+		}
+		if k, ok := m.HigherKey(tx, 20); !ok || k != 30 {
+			t.Errorf("higher(20) = (%d,%v)", k, ok)
+		}
+		if _, ok := m.HigherKey(tx, 30); ok {
+			t.Error("higher(30) succeeded")
+		}
+		var got []int
+		lo, hi := 10, 30
+		m.AscendRange(tx, &lo, &hi, func(k, _ int) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+			t.Errorf("range [10,30) = %v", got)
+		}
+	})
+}
+
+func TestTreeMapConcurrentDisjointKeys(t *testing.T) {
+	m := NewTreeMap[int, int]()
+	var wg sync.WaitGroup
+	const workers, per = 4, 80
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := stm.NewThread(&stm.RealClock{}, int64(w))
+			for i := 0; i < per; i++ {
+				k := i*workers + w
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					m.Put(tx, k, k)
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		if got := m.Size(tx); got != workers*per {
+			t.Fatalf("size = %d, want %d", got, workers*per)
+		}
+		prev := -1
+		m.ForEach(tx, func(k, _ int) bool {
+			if k <= prev {
+				t.Fatalf("order violated: %d after %d", k, prev)
+			}
+			prev = k
+			return true
+		})
+	})
+}
+
+func TestQueueFIFOWithinTx(t *testing.T) {
+	q := NewQueue[int]()
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		if _, ok := q.Dequeue(tx); ok {
+			t.Error("dequeue on empty succeeded")
+		}
+		for i := 0; i < 5; i++ {
+			q.Enqueue(tx, i)
+		}
+		if v, ok := q.Peek(tx); !ok || v != 0 {
+			t.Errorf("peek = (%d,%v)", v, ok)
+		}
+		for i := 0; i < 5; i++ {
+			if v, ok := q.Dequeue(tx); !ok || v != i {
+				t.Errorf("dequeue = (%d,%v), want %d", v, ok, i)
+			}
+		}
+		if q.Size(tx) != 0 {
+			t.Errorf("size = %d", q.Size(tx))
+		}
+	})
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int]()
+	const producers, per = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := stm.NewThread(&stm.RealClock{}, int64(p))
+			for i := 0; i < per; i++ {
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					q.Enqueue(tx, p*per+i)
+					return nil
+				}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		for {
+			v, ok := q.Dequeue(tx)
+			if !ok {
+				break
+			}
+			if seen[v] {
+				t.Fatalf("duplicate element %d", v)
+			}
+			seen[v] = true
+		}
+	})
+	if len(seen) != producers*per {
+		t.Fatalf("drained %d elements, want %d", len(seen), producers*per)
+	}
+}
+
+func TestSegmentedMapBehaves(t *testing.T) {
+	m := NewSegmentedHashMap[int, int](8)
+	th := newTh()
+	run1(t, th, func(tx *stm.Tx) {
+		for i := 0; i < 500; i++ {
+			m.Put(tx, i, i+1)
+		}
+		if m.Size(tx) != 500 {
+			t.Errorf("size = %d", m.Size(tx))
+		}
+		for i := 0; i < 500; i++ {
+			if v, ok := m.Get(tx, i); !ok || v != i+1 {
+				t.Fatalf("get(%d) = (%d,%v)", i, v, ok)
+			}
+		}
+		for i := 0; i < 500; i += 2 {
+			if _, ok := m.Remove(tx, i); !ok {
+				t.Fatalf("remove(%d) failed", i)
+			}
+		}
+		if m.Size(tx) != 250 {
+			t.Errorf("size after removes = %d", m.Size(tx))
+		}
+	})
+}
+
+func TestSegmentedMapBadSegmentsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two segments")
+		}
+	}()
+	NewSegmentedHashMap[int, int](3)
+}
+
+// TestSegmentedSameSegmentConflicts verifies §2.4's mechanism directly:
+// two transactions inserting different keys conflict exactly when the
+// keys share a segment (same per-segment size field).
+func TestSegmentedSameSegmentConflicts(t *testing.T) {
+	m := NewSegmentedHashMap[int, int](8)
+	// Probe for two keys in the same segment and two in different ones.
+	seg := func(k int) *HashMap[int, int] { return m.segment(k) }
+	sameA, sameB, diffB := -1, -1, -1
+	for k := 1; k < 10_000; k++ {
+		if seg(k) == seg(0) && sameA == -1 {
+			sameA = k
+		} else if seg(k) != seg(0) && diffB == -1 {
+			diffB = k
+		}
+		if sameA != -1 && diffB != -1 {
+			break
+		}
+	}
+	sameB = 0
+	if sameA == -1 || diffB == -1 {
+		t.Fatal("could not find probe keys")
+	}
+
+	run := func(k1, k2 int) (conflicted bool) {
+		parked := make(chan struct{})
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		attempts := 0
+		go func() {
+			th := stm.NewThread(&stm.RealClock{}, 1)
+			done <- th.Atomic(func(tx *stm.Tx) error {
+				attempts = tx.Attempt() + 1
+				m.Put(tx, k1, 1)
+				if tx.Attempt() == 0 {
+					parked <- struct{}{}
+					<-release
+				}
+				return nil
+			})
+		}()
+		<-parked
+		th2 := stm.NewThread(&stm.RealClock{}, 2)
+		if err := th2.Atomic(func(tx *stm.Tx) error {
+			m.Put(tx, k2, 2)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		close(release)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		return attempts > 1
+	}
+	if !run(sameA, sameB) {
+		t.Error("same-segment inserts did not conflict on the segment size field")
+	}
+	m2 := NewSegmentedHashMap[int, int](8)
+	m = m2 // fresh map for the commuting pair
+	if run(sameA, diffB) {
+		t.Error("different-segment inserts conflicted")
+	}
+}

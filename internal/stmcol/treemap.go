@@ -1,0 +1,483 @@
+package stmcol
+
+import (
+	"cmp"
+
+	"tcc/internal/stm"
+)
+
+// TreeMap is a red-black tree (transliterated from the classic
+// java.util.TreeMap formulation) whose every mutable field — child and
+// parent links, colors, keys, values, root, size — is a transactional
+// variable. Rebalancing rotations and recolorings therefore write nodes
+// on other transactions' lookup paths, producing the non-semantic
+// conflicts that keep the paper's "Atomos TreeMap" from scaling
+// (Figure 2).
+type TreeMap[K comparable, V any] struct {
+	cmp  func(a, b K) int
+	root *stm.Var[*TNode[K, V]]
+	size *stm.Var[int]
+}
+
+// TNode is a tree node; exported only within the package's API surface
+// so iterators can hold positions.
+type TNode[K comparable, V any] struct {
+	key                 *stm.Var[K]
+	val                 *stm.Var[V]
+	left, right, parent *stm.Var[*TNode[K, V]]
+	red                 *stm.Var[bool]
+}
+
+func newTNode[K comparable, V any](k K, v V, parent *TNode[K, V]) *TNode[K, V] {
+	return &TNode[K, V]{
+		key:    stm.NewVar(k),
+		val:    stm.NewVar(v),
+		left:   stm.NewVar[*TNode[K, V]](nil),
+		right:  stm.NewVar[*TNode[K, V]](nil),
+		parent: stm.NewVar(parent),
+		red:    stm.NewVar(false),
+	}
+}
+
+// NewTreeMap creates an empty transactional tree map ordered by
+// cmp.Compare.
+func NewTreeMap[K cmp.Ordered, V any]() *TreeMap[K, V] {
+	return NewTreeMapFunc[K, V](cmp.Compare[K])
+}
+
+// NewTreeMapFunc creates an empty transactional tree map with an
+// explicit comparator.
+func NewTreeMapFunc[K comparable, V any](compare func(a, b K) int) *TreeMap[K, V] {
+	return &TreeMap[K, V]{
+		cmp:  compare,
+		root: stm.NewVar[*TNode[K, V]](nil),
+		size: stm.NewVar(0),
+	}
+}
+
+// Null-safe helpers, mirroring java.util.TreeMap's colorOf/parentOf/
+// leftOf/rightOf: absent nodes are black.
+func isRed[K comparable, V any](tx *stm.Tx, n *TNode[K, V]) bool {
+	return n != nil && n.red.Get(tx)
+}
+
+func setRed[K comparable, V any](tx *stm.Tx, n *TNode[K, V], red bool) {
+	if n != nil {
+		n.red.Set(tx, red)
+	}
+}
+
+func parentOf[K comparable, V any](tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	if n == nil {
+		return nil
+	}
+	return n.parent.Get(tx)
+}
+
+func leftOf[K comparable, V any](tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	if n == nil {
+		return nil
+	}
+	return n.left.Get(tx)
+}
+
+func rightOf[K comparable, V any](tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	if n == nil {
+		return nil
+	}
+	return n.right.Get(tx)
+}
+
+func (t *TreeMap[K, V]) getEntry(tx *stm.Tx, k K) *TNode[K, V] {
+	n := t.root.Get(tx)
+	for n != nil {
+		c := t.cmp(k, n.key.Get(tx))
+		switch {
+		case c < 0:
+			n = n.left.Get(tx)
+		case c > 0:
+			n = n.right.Get(tx)
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Get returns the value mapped to k.
+func (t *TreeMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	if n := t.getEntry(tx, k); n != nil {
+		return n.val.Get(tx), true
+	}
+	var zero V
+	return zero, false
+}
+
+// ContainsKey reports whether k is mapped.
+func (t *TreeMap[K, V]) ContainsKey(tx *stm.Tx, k K) bool {
+	return t.getEntry(tx, k) != nil
+}
+
+// Size returns the number of mappings.
+func (t *TreeMap[K, V]) Size(tx *stm.Tx) int { return t.size.Get(tx) }
+
+// Put maps k to v, returning the previous value if k was present.
+func (t *TreeMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
+	var zero V
+	n := t.root.Get(tx)
+	if n == nil {
+		t.root.Set(tx, newTNode(k, v, nil))
+		t.size.Set(tx, 1)
+		return zero, false
+	}
+	var parent *TNode[K, V]
+	var c int
+	for n != nil {
+		parent = n
+		c = t.cmp(k, n.key.Get(tx))
+		switch {
+		case c < 0:
+			n = n.left.Get(tx)
+		case c > 0:
+			n = n.right.Get(tx)
+		default:
+			old := n.val.Get(tx)
+			n.val.Set(tx, v)
+			return old, true
+		}
+	}
+	e := newTNode(k, v, parent)
+	if c < 0 {
+		parent.left.Set(tx, e)
+	} else {
+		parent.right.Set(tx, e)
+	}
+	t.fixAfterInsertion(tx, e)
+	t.size.Set(tx, t.size.Get(tx)+1)
+	return zero, false
+}
+
+func (t *TreeMap[K, V]) rotateLeft(tx *stm.Tx, p *TNode[K, V]) {
+	if p == nil {
+		return
+	}
+	r := p.right.Get(tx)
+	p.right.Set(tx, r.left.Get(tx))
+	if rl := r.left.Get(tx); rl != nil {
+		rl.parent.Set(tx, p)
+	}
+	pp := p.parent.Get(tx)
+	r.parent.Set(tx, pp)
+	switch {
+	case pp == nil:
+		t.root.Set(tx, r)
+	case pp.left.Get(tx) == p:
+		pp.left.Set(tx, r)
+	default:
+		pp.right.Set(tx, r)
+	}
+	r.left.Set(tx, p)
+	p.parent.Set(tx, r)
+}
+
+func (t *TreeMap[K, V]) rotateRight(tx *stm.Tx, p *TNode[K, V]) {
+	if p == nil {
+		return
+	}
+	l := p.left.Get(tx)
+	p.left.Set(tx, l.right.Get(tx))
+	if lr := l.right.Get(tx); lr != nil {
+		lr.parent.Set(tx, p)
+	}
+	pp := p.parent.Get(tx)
+	l.parent.Set(tx, pp)
+	switch {
+	case pp == nil:
+		t.root.Set(tx, l)
+	case pp.right.Get(tx) == p:
+		pp.right.Set(tx, l)
+	default:
+		pp.left.Set(tx, l)
+	}
+	l.right.Set(tx, p)
+	p.parent.Set(tx, l)
+}
+
+func (t *TreeMap[K, V]) fixAfterInsertion(tx *stm.Tx, x *TNode[K, V]) {
+	x.red.Set(tx, true)
+	for x != nil && x != t.root.Get(tx) && isRed(tx, parentOf(tx, x)) {
+		p := parentOf(tx, x)
+		g := parentOf(tx, p)
+		if p == leftOf(tx, g) {
+			y := rightOf(tx, g)
+			if isRed(tx, y) {
+				setRed(tx, p, false)
+				setRed(tx, y, false)
+				setRed(tx, g, true)
+				x = g
+			} else {
+				if x == rightOf(tx, p) {
+					x = p
+					t.rotateLeft(tx, x)
+				}
+				setRed(tx, parentOf(tx, x), false)
+				setRed(tx, parentOf(tx, parentOf(tx, x)), true)
+				t.rotateRight(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		} else {
+			y := leftOf(tx, g)
+			if isRed(tx, y) {
+				setRed(tx, p, false)
+				setRed(tx, y, false)
+				setRed(tx, g, true)
+				x = g
+			} else {
+				if x == leftOf(tx, p) {
+					x = p
+					t.rotateRight(tx, x)
+				}
+				setRed(tx, parentOf(tx, x), false)
+				setRed(tx, parentOf(tx, parentOf(tx, x)), true)
+				t.rotateLeft(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		}
+	}
+	t.root.Get(tx).red.Set(tx, false)
+}
+
+// Remove deletes k's mapping, returning the removed value if present.
+func (t *TreeMap[K, V]) Remove(tx *stm.Tx, k K) (V, bool) {
+	p := t.getEntry(tx, k)
+	if p == nil {
+		var zero V
+		return zero, false
+	}
+	old := p.val.Get(tx)
+	t.deleteEntry(tx, p)
+	t.size.Set(tx, t.size.Get(tx)-1)
+	return old, true
+}
+
+func (t *TreeMap[K, V]) minimum(tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	for l := n.left.Get(tx); l != nil; l = n.left.Get(tx) {
+		n = l
+	}
+	return n
+}
+
+func (t *TreeMap[K, V]) maximum(tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	for r := n.right.Get(tx); r != nil; r = n.right.Get(tx) {
+		n = r
+	}
+	return n
+}
+
+// successor returns the in-order successor of n.
+func (t *TreeMap[K, V]) successor(tx *stm.Tx, n *TNode[K, V]) *TNode[K, V] {
+	if n == nil {
+		return nil
+	}
+	if r := n.right.Get(tx); r != nil {
+		return t.minimum(tx, r)
+	}
+	p := n.parent.Get(tx)
+	ch := n
+	for p != nil && ch == p.right.Get(tx) {
+		ch = p
+		p = p.parent.Get(tx)
+	}
+	return p
+}
+
+func (t *TreeMap[K, V]) deleteEntry(tx *stm.Tx, p *TNode[K, V]) {
+	// Internal node: copy successor's key/value, then delete successor.
+	if p.left.Get(tx) != nil && p.right.Get(tx) != nil {
+		s := t.successor(tx, p)
+		p.key.Set(tx, s.key.Get(tx))
+		p.val.Set(tx, s.val.Get(tx))
+		p = s
+	}
+	replacement := p.left.Get(tx)
+	if replacement == nil {
+		replacement = p.right.Get(tx)
+	}
+	pp := p.parent.Get(tx)
+	if replacement != nil {
+		replacement.parent.Set(tx, pp)
+		switch {
+		case pp == nil:
+			t.root.Set(tx, replacement)
+		case p == pp.left.Get(tx):
+			pp.left.Set(tx, replacement)
+		default:
+			pp.right.Set(tx, replacement)
+		}
+		if !p.red.Get(tx) {
+			t.fixAfterDeletion(tx, replacement)
+		}
+	} else if pp == nil {
+		t.root.Set(tx, nil)
+	} else {
+		// No children: fix with p still linked, then unlink (the
+		// java.util.TreeMap trick that avoids a sentinel).
+		if !p.red.Get(tx) {
+			t.fixAfterDeletion(tx, p)
+		}
+		if gp := p.parent.Get(tx); gp != nil {
+			if p == gp.left.Get(tx) {
+				gp.left.Set(tx, nil)
+			} else {
+				gp.right.Set(tx, nil)
+			}
+			p.parent.Set(tx, nil)
+		}
+	}
+}
+
+func (t *TreeMap[K, V]) fixAfterDeletion(tx *stm.Tx, x *TNode[K, V]) {
+	for x != t.root.Get(tx) && !isRed(tx, x) {
+		p := parentOf(tx, x)
+		if x == leftOf(tx, p) {
+			sib := rightOf(tx, p)
+			if isRed(tx, sib) {
+				setRed(tx, sib, false)
+				setRed(tx, p, true)
+				t.rotateLeft(tx, p)
+				p = parentOf(tx, x)
+				sib = rightOf(tx, p)
+			}
+			if !isRed(tx, leftOf(tx, sib)) && !isRed(tx, rightOf(tx, sib)) {
+				setRed(tx, sib, true)
+				x = p
+			} else {
+				if !isRed(tx, rightOf(tx, sib)) {
+					setRed(tx, leftOf(tx, sib), false)
+					setRed(tx, sib, true)
+					t.rotateRight(tx, sib)
+					p = parentOf(tx, x)
+					sib = rightOf(tx, p)
+				}
+				setRed(tx, sib, isRed(tx, p))
+				setRed(tx, p, false)
+				setRed(tx, rightOf(tx, sib), false)
+				t.rotateLeft(tx, p)
+				x = t.root.Get(tx)
+			}
+		} else {
+			sib := leftOf(tx, p)
+			if isRed(tx, sib) {
+				setRed(tx, sib, false)
+				setRed(tx, p, true)
+				t.rotateRight(tx, p)
+				p = parentOf(tx, x)
+				sib = leftOf(tx, p)
+			}
+			if !isRed(tx, rightOf(tx, sib)) && !isRed(tx, leftOf(tx, sib)) {
+				setRed(tx, sib, true)
+				x = p
+			} else {
+				if !isRed(tx, leftOf(tx, sib)) {
+					setRed(tx, rightOf(tx, sib), false)
+					setRed(tx, sib, true)
+					t.rotateLeft(tx, sib)
+					p = parentOf(tx, x)
+					sib = leftOf(tx, p)
+				}
+				setRed(tx, sib, isRed(tx, p))
+				setRed(tx, p, false)
+				setRed(tx, leftOf(tx, sib), false)
+				t.rotateRight(tx, p)
+				x = t.root.Get(tx)
+			}
+		}
+	}
+	setRed(tx, x, false)
+}
+
+// FirstKey returns the minimum key.
+func (t *TreeMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
+	n := t.root.Get(tx)
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	return t.minimum(tx, n).key.Get(tx), true
+}
+
+// LastKey returns the maximum key.
+func (t *TreeMap[K, V]) LastKey(tx *stm.Tx) (K, bool) {
+	n := t.root.Get(tx)
+	if n == nil {
+		var zero K
+		return zero, false
+	}
+	return t.maximum(tx, n).key.Get(tx), true
+}
+
+// ceilingEntry returns the node with the smallest key >= k (> k when
+// strict).
+func (t *TreeMap[K, V]) ceilingEntry(tx *stm.Tx, k K, strict bool) *TNode[K, V] {
+	var best *TNode[K, V]
+	n := t.root.Get(tx)
+	for n != nil {
+		switch c := t.cmp(k, n.key.Get(tx)); {
+		case c < 0:
+			best = n
+			n = n.left.Get(tx)
+		case c > 0:
+			n = n.right.Get(tx)
+		case strict:
+			n = n.right.Get(tx)
+		default:
+			return n
+		}
+	}
+	return best
+}
+
+// CeilingKey returns the smallest key >= k.
+func (t *TreeMap[K, V]) CeilingKey(tx *stm.Tx, k K) (K, bool) {
+	if n := t.ceilingEntry(tx, k, false); n != nil {
+		return n.key.Get(tx), true
+	}
+	var zero K
+	return zero, false
+}
+
+// HigherKey returns the smallest key > k.
+func (t *TreeMap[K, V]) HigherKey(tx *stm.Tx, k K) (K, bool) {
+	if n := t.ceilingEntry(tx, k, true); n != nil {
+		return n.key.Get(tx), true
+	}
+	var zero K
+	return zero, false
+}
+
+// AscendRange visits mappings with lo <= key < hi in ascending order
+// until fn returns false; nil bounds are unbounded.
+func (t *TreeMap[K, V]) AscendRange(tx *stm.Tx, lo, hi *K, fn func(k K, v V) bool) {
+	var n *TNode[K, V]
+	if lo == nil {
+		if r := t.root.Get(tx); r != nil {
+			n = t.minimum(tx, r)
+		}
+	} else {
+		n = t.ceilingEntry(tx, *lo, false)
+	}
+	for n != nil {
+		k := n.key.Get(tx)
+		if hi != nil && t.cmp(k, *hi) >= 0 {
+			return
+		}
+		if !fn(k, n.val.Get(tx)) {
+			return
+		}
+		n = t.successor(tx, n)
+	}
+}
+
+// ForEach visits every mapping in ascending key order until fn returns
+// false.
+func (t *TreeMap[K, V]) ForEach(tx *stm.Tx, fn func(k K, v V) bool) {
+	t.AscendRange(tx, nil, nil, fn)
+}
