@@ -1,0 +1,160 @@
+// Command stmlint checks the repository's transactional discipline: the
+// usage rules that Atomos enforced in its compiler and that this Go
+// reproduction can only enforce by static analysis (see
+// internal/analysis for the rule set and README.md "Static analysis"
+// for the rationale behind each rule).
+//
+// Usage:
+//
+//	stmlint [-rules] [packages]
+//
+//	stmlint ./...             # whole module
+//	stmlint ./internal/core   # one package directory
+//	stmlint -rules            # list rule IDs
+//
+// Diagnostics print as file:line:col: rule-id: message. Exit status is
+// 0 when clean, 1 when any diagnostic is reported, 2 on load or usage
+// errors. Individual findings can be suppressed with a comment on, or
+// immediately above, the offending line:
+//
+//	//stmlint:ignore rule-id reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tcc/internal/analysis"
+)
+
+func main() {
+	rulesFlag := flag.Bool("rules", false, "list rule IDs and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: stmlint [-rules] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rulesFlag {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stmlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run lints the packages matched by patterns and returns the number of
+// diagnostics printed.
+func run(patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	paths, err := expand(loader, cwd, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, path := range paths {
+		rel, ok := strings.CutPrefix(path, loader.ModulePath)
+		if !ok {
+			return total, fmt.Errorf("package %s is outside module %s", path, loader.ModulePath)
+		}
+		dir := filepath.Join(loader.ModuleDir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			return total, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return total, fmt.Errorf("type errors in %s: %v", path, pkg.TypeErrors[0])
+		}
+		for _, d := range analysis.Check(loader.Fset, pkg) {
+			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+			fmt.Println(d)
+			total++
+		}
+	}
+	return total, nil
+}
+
+// expand resolves command-line patterns ("./...", "dir/...", plain
+// directories) to module import paths.
+func expand(loader *analysis.Loader, cwd string, patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		rel, err := filepath.Rel(loader.ModuleDir, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside the module", pat)
+		}
+		importPath := loader.ModulePath
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		if !recursive {
+			add(importPath)
+			continue
+		}
+		all, err := loader.ModulePackages()
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range all {
+			if p == importPath || strings.HasPrefix(p, importPath+"/") {
+				add(p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// relPath renders a diagnostic path relative to the working directory
+// when that is shorter, matching go vet's output style.
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

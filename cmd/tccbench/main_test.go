@@ -1,0 +1,66 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBuildFigureSmoke runs each figure on a tiny configuration — the
+// same in-process path `tccbench -fig N -ops 64 -cpus 1,2` takes — so a
+// regression anywhere in the harness or workloads fails fast here
+// rather than only in a full benchmark run.
+func TestBuildFigureSmoke(t *testing.T) {
+	cpus := []int{1, 2}
+	for n := 1; n <= 4; n++ {
+		fig := buildFigure(n, cpus, 64, 7)
+		out := fig.String()
+		if out == "" {
+			t.Errorf("figure %d produced no output", n)
+		}
+		for _, cpu := range []string{"1", "2"} {
+			if !strings.Contains(out, cpu) {
+				t.Errorf("figure %d output missing CPU row %s:\n%s", n, cpu, out)
+			}
+		}
+		if stats := fig.StatsString(); stats == "" {
+			t.Errorf("figure %d produced no stats output", n)
+		}
+	}
+}
+
+// TestBuildFigureDeterministic: same seed, same figure — byte-identical
+// output, the property the whole virtual-CPU simulator exists for.
+func TestBuildFigureDeterministic(t *testing.T) {
+	a := buildFigure(1, []int{1, 2}, 64, 7).String()
+	b := buildFigure(1, []int{1, 2}, 64, 7).String()
+	if a != b {
+		t.Errorf("same seed produced different output:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestParseCPUs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, true},
+		{" 1 , 8 ", []int{1, 8}, true},
+		{"1,,2", []int{1, 2}, true},
+		{"", nil, false},
+		{"0", nil, false},
+		{"-2", nil, false},
+		{"two", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseCPUs(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseCPUs(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseCPUs(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package analysis is stmlint: a static analyzer for the transactional
+// discipline the paper's collection classes depend on. Atomos enforced
+// the open-nesting rules in its compiler and language runtime; in Go
+// nothing stops a caller from starting a transaction inside a
+// transaction, leaking a *stm.Tx into a goroutine, bypassing the
+// versioned clock with committed accessors, or desynchronizing the
+// deterministic simulator with wall-clock time. Each rule in this
+// package makes one of those conventions machine-checkable (in the
+// spirit of Proust's machine-checked usage rules for transactional data
+// structures).
+//
+// The engine is standard-library only: go/parser + go/types via the
+// Loader, a rule registry, and //stmlint:ignore suppression comments.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one stmlint check.
+type Rule struct {
+	// ID is the stable rule identifier reported in diagnostics and
+	// accepted by //stmlint:ignore.
+	ID string
+	// Doc is a one-line description for -rules listings.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(p *Pass)
+}
+
+// Rules returns the registered rule set in a stable order.
+func Rules() []*Rule {
+	return []*Rule{
+		ruleNestedAtomic,
+		ruleTxEscape,
+		ruleNakedVar,
+		ruleNondeterminism,
+		ruleHandlerTxn,
+		ruleUncheckedAtomic,
+	}
+}
+
+// Pass carries one package through one rule.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+
+	rule  *Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the current rule at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule.ID,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs every registered rule over pkg and returns the surviving
+// (non-suppressed) diagnostics sorted by position.
+func Check(fset *token.FileSet, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range Rules() {
+		p := &Pass{Fset: fset, Pkg: pkg, rule: r, diags: &diags}
+		r.Run(p)
+	}
+	diags = filterSuppressed(fset, pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //stmlint:ignore comment.
+type ignoreDirective struct {
+	rules  map[string]bool // nil means every rule ("all")
+	reason string
+}
+
+// matches reports whether the directive suppresses the given rule ID.
+func (d ignoreDirective) matches(rule string) bool {
+	return d.rules == nil || d.rules[rule]
+}
+
+// parseIgnore parses "stmlint:ignore RULE[,RULE...] reason" from a
+// comment's text (with the leading // or /* already stripped). It
+// returns ok=false for comments that are not stmlint directives.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "stmlint:ignore")
+	if !ok {
+		return ignoreDirective{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		// Bare "stmlint:ignore": suppress everything on the line.
+		return ignoreDirective{}, true
+	}
+	d := ignoreDirective{reason: strings.Join(fields[1:], " ")}
+	if fields[0] != "all" {
+		d.rules = make(map[string]bool)
+		for _, r := range strings.Split(fields[0], ",") {
+			d.rules[r] = true
+		}
+	}
+	return d, true
+}
+
+// filterSuppressed drops diagnostics covered by an //stmlint:ignore
+// directive. A directive applies to its own source line (end-of-line
+// comment) and to the line immediately following it (standalone comment
+// above the offending statement).
+func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file name -> line -> directives active on that line
+	ignores := make(map[string]map[int][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				d, ok := parseIgnore(text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ignores[pos.Filename]
+				if m == nil {
+					m = make(map[int][]ignoreDirective)
+					ignores[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], d)
+				m[pos.Line+1] = append(m[pos.Line+1], d)
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range ignores[d.Pos.Filename][d.Pos.Line] {
+			if dir.matches(d.Rule) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// forEachFile applies visit to every file of the pass's package.
+func (p *Pass) forEachFile(visit func(f *ast.File)) {
+	for _, f := range p.Pkg.Files {
+		visit(f)
+	}
+}

@@ -1,0 +1,167 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"tcc/internal/analysis"
+)
+
+// One loader is shared across all tests: the expensive part is
+// type-checking the stdlib and internal/stm from source, and the
+// loader caches packages by import path.
+var (
+	loaderOnce sync.Once
+	loaderErr  error
+	shared     *analysis.Loader
+)
+
+func getLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		wd, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		root, err := analysis.FindModuleRoot(wd)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		shared, loaderErr = analysis.NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return shared
+}
+
+// loadFixture type-checks testdata/<name> and returns it with the
+// loader that owns its FileSet.
+func loadFixture(t *testing.T, name string) (*analysis.Loader, *analysis.Package) {
+	t.Helper()
+	l := getLoader(t)
+	dir := filepath.Join(l.ModuleDir, "internal", "analysis", "testdata", name)
+	pkg, err := l.LoadDir(dir, "tcc/internal/analysis/testdata/"+name)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors)
+	}
+	return l, pkg
+}
+
+// collectWant scans a fixture for "// want rule-id [rule-id ...]"
+// comments and returns the expected rule IDs keyed by file:line.
+func collectWant(fset *token.FileSet, pkg *analysis.Package) map[string][]string {
+	want := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				want[key] = append(want[key], strings.Fields(text)[1:]...)
+			}
+		}
+	}
+	for _, ids := range want {
+		sort.Strings(ids)
+	}
+	return want
+}
+
+// runFixture checks a fixture package against its want comments. Every
+// want comment must be matched by a diagnostic of that rule on that
+// line, and every diagnostic must be announced by a want comment —
+// which is also what keeps the "clean" cases in each fixture honest.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	l, pkg := loadFixture(t, name)
+	want := collectWant(l.Fset, pkg)
+	if len(want) == 0 && name != "suppress" {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+	got := make(map[string][]string)
+	for _, d := range analysis.Check(l.Fset, pkg) {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d.Rule)
+	}
+	for _, ids := range got {
+		sort.Strings(ids)
+	}
+	for key, ids := range want {
+		if !reflect.DeepEqual(got[key], ids) {
+			t.Errorf("%s: want %v, got %v", key, ids, got[key])
+		}
+	}
+	for key, ids := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unexpected diagnostics %v", key, ids)
+		}
+	}
+}
+
+func TestNestedAtomicFixture(t *testing.T) { runFixture(t, "nestedatomic") }
+func TestTxEscapeFixture(t *testing.T)     { runFixture(t, "txescape") }
+func TestNakedVarFixture(t *testing.T)     { runFixture(t, "nakedvar") }
+func TestNondetFixture(t *testing.T)       { runFixture(t, "nondet") }
+func TestHandlerTxnFixture(t *testing.T)   { runFixture(t, "handlertxn") }
+func TestUncheckedFixture(t *testing.T)    { runFixture(t, "unchecked") }
+
+// TestSuppress proves //stmlint:ignore silences exactly the named
+// rule: three suppressed violations yield nothing, and a directive for
+// the wrong rule leaves its diagnostic standing.
+func TestSuppress(t *testing.T) { runFixture(t, "suppress") }
+
+// TestEveryRuleHasFixture keeps the corpus in sync with the rule set:
+// each registered rule must fire somewhere in testdata.
+func TestEveryRuleHasFixture(t *testing.T) {
+	fired := make(map[string]bool)
+	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked"} {
+		l, pkg := loadFixture(t, name)
+		for _, d := range analysis.Check(l.Fset, pkg) {
+			fired[d.Rule] = true
+		}
+	}
+	for _, r := range analysis.Rules() {
+		if !fired[r.ID] {
+			t.Errorf("rule %s never fires on the fixture corpus", r.ID)
+		}
+	}
+}
+
+// TestRepoClean lints every package in the module, mirroring the
+// `stmlint ./...` CI gate: the repository must hold its own discipline.
+func TestRepoClean(t *testing.T) {
+	l := getLoader(t)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("type errors in %s: %v", path, pkg.TypeErrors[0])
+		}
+		for _, d := range analysis.Check(l.Fset, pkg) {
+			t.Errorf("%s: %s", path, d)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package together with everything
+// the rule passes need: its syntax trees (with comments, for the
+// suppression directives) and the go/types facts.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking errors. A package with type
+	// errors still carries as much type information as the checker
+	// could recover, but stmlint treats it as a load failure.
+	TypeErrors []error
+}
+
+// Loader loads and type-checks the packages of a single module plus
+// their standard-library dependencies using only the standard library
+// (go/parser, go/types, go/importer) — no golang.org/x/tools. Module
+// dependencies outside the module itself are not supported, which is
+// exactly the situation of this repository (stdlib-only go.mod).
+type Loader struct {
+	// Fset is shared by every package the loader touches, so positions
+	// from any of them render correctly.
+	Fset *token.FileSet
+	// ModuleDir is the absolute path of the module root (the directory
+	// containing go.mod); ModulePath is the declared module path.
+	ModuleDir  string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at moduleDir, which
+// must contain a go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", moduleDir, err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", moduleDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		// The "source" importer type-checks standard-library packages
+		// from $GOROOT source; unlike the default export-data importer
+		// it needs no pre-compiled .a files.
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Import implements types.Importer: module-internal paths are resolved
+// against the module directory and loaded recursively; everything else
+// is assumed to be standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return pkg.Types, pkg.TypeErrors[0]
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// moduleRel maps an import path inside the module to a directory
+// relative to the module root.
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.ModulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path, caching the result. Test files (_test.go) are skipped:
+// stmlint checks the discipline of production transactional code, and
+// the STM's own tests intentionally break the rules to probe edge
+// behavior.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+			strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		pkg.TypeErrors = append(pkg.TypeErrors, err)
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// ModulePackages returns the import paths of every buildable package in
+// the module, sorted. Hidden directories, testdata, and vendor trees
+// are skipped, matching the go tool's ./... expansion.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleDir &&
+			(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(l.ModuleDir, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				paths = append(paths, l.ModulePath)
+			} else {
+				paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// buildable (non-test) Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

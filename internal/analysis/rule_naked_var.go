@@ -1,0 +1,41 @@
+package analysis
+
+import "go/ast"
+
+// naked-var-access: Var.GetCommitted / Var.SetCommitted used where a
+// *stm.Tx is in scope. The committed accessors bypass the versioned
+// global clock entirely — no read-set entry, no snapshot validation, no
+// buffered write — so using them where a transaction is available
+// silently breaks serializability: the transaction can commit having
+// observed (or produced) state no serial order explains. They exist for
+// single-threaded setup and post-run inspection only; inside a
+// transaction the same access must be Get(tx)/Set(tx).
+var ruleNakedVar = &Rule{
+	ID:  "naked-var-access",
+	Doc: "Var.GetCommitted/SetCommitted used where a *stm.Tx is in scope (bypasses validation)",
+	Run: runNakedVar,
+}
+
+func runNakedVar(p *Pass) {
+	if p.isSTMPackage() {
+		return
+	}
+	info := p.Pkg.Info
+	p.forEachFile(func(f *ast.File) {
+		p.walkCtx(f, func(n ast.Node, ctx funcCtx) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !ctx.txInScope || ctx.inHandler {
+				return
+			}
+			for _, name := range [...]string{"GetCommitted", "SetCommitted"} {
+				if isSTMMethod(info, call, "Var", name) {
+					verb := "Get(tx)"
+					if name == "SetCommitted" {
+						verb = "Set(tx)"
+					}
+					p.Reportf(call.Pos(), "Var.%s bypasses versioned-clock validation while a *stm.Tx is in scope; use %s", name, verb)
+				}
+			}
+		})
+	})
+}

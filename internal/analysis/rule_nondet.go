@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nondeterminism: wall-clock or global-RNG calls inside transactional
+// bodies or handlers. All time in this system is charged through
+// stm.Clock so the same code runs on the deterministic virtual-CPU
+// simulator (internal/sim) that regenerates the paper's figures;
+// time.Now/time.Sleep read or spend host time the virtual clock never
+// sees, and the global math/rand state is shared across goroutines, so
+// either desynchronizes the simulated schedule and makes reruns
+// unreproducible. Transactions retry, which makes it worse: each
+// re-execution draws fresh wall-clock values, so aborted attempts
+// diverge from committed ones. Use the worker's Clock for time and a
+// per-thread seeded *rand.Rand (harness.Worker.RNG) for randomness.
+var ruleNondeterminism = &Rule{
+	ID:  "nondeterminism",
+	Doc: "time.Now/time.Sleep/global math/rand inside a transactional body or handler",
+	Run: runNondeterminism,
+}
+
+// nondetTimeFuncs are the "time" package functions that read or spend
+// host wall-clock time.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNondeterminism(p *Pass) {
+	info := p.Pkg.Info
+	p.forEachFile(func(f *ast.File) {
+		p.walkCtx(f, func(n ast.Node, ctx funcCtx) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || (!ctx.inTx && !ctx.inHandler) {
+				return
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || recvNamed(fn) != nil || fn.Pkg() == nil {
+				return
+			}
+			where := "a transactional body"
+			if ctx.inHandler {
+				where = "a commit/abort handler"
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if nondetTimeFuncs[fn.Name()] {
+					p.Reportf(call.Pos(), "time.%s inside %s desynchronizes the deterministic virtual clock; charge time through the worker's stm.Clock", fn.Name(), where)
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewSource, NewPCG, ...) build
+				// deterministic private generators and are fine; every
+				// other exported function draws from the shared global
+				// state.
+				if !strings.HasPrefix(fn.Name(), "New") {
+					p.Reportf(call.Pos(), "global %s.%s inside %s is shared mutable state and unseeded per worker; use a per-thread seeded *rand.Rand", fn.Pkg().Name(), fn.Name(), where)
+				}
+			}
+		})
+	})
+}

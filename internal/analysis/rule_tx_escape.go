@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tx-escape: a *stm.Tx or *stm.Thread smuggled out of its transaction
+// or worker. A Tx is only valid inside the dynamic extent of the
+// Atomic/Open/Nested call that created it — its read/write sets die at
+// commit — and a Thread is a single-worker context (unsynchronized RNG,
+// in-transaction flag). The rule flags:
+//
+//   - go statements whose call captures or is passed a *stm.Tx or
+//     *stm.Thread from the enclosing scope (the goroutine outlives the
+//     transaction and races the owning worker);
+//   - *stm.Tx values stored into struct fields, map/slice elements, or
+//     package-level variables (storage that outlives the transaction);
+//   - *stm.Tx values placed in composite literals.
+//
+// The STM implementation package itself is exempt: it constructs and
+// threads Tx values by design.
+var ruleTxEscape = &Rule{
+	ID:  "tx-escape",
+	Doc: "*stm.Tx/*stm.Thread escapes its transaction (goroutine capture or long-lived store)",
+	Run: runTxEscape,
+}
+
+func runTxEscape(p *Pass) {
+	if p.isSTMPackage() {
+		return
+	}
+	info := p.Pkg.Info
+	p.forEachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoCapture(p, n)
+			case *ast.AssignStmt:
+				checkEscapingAssign(p, n)
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if tv, ok := info.Types[v]; ok && stmNamedPtr(tv.Type, "Tx") {
+						p.Reportf(v.Pos(), "*stm.Tx stored in a composite literal may outlive its transaction; pass the Tx as a parameter instead")
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkGoCapture flags *stm.Tx- and *stm.Thread-typed values that a go
+// statement captures from the enclosing scope (free variables of the
+// function literal, or arguments passed to the spawned call). Values
+// rooted at declarations inside the go statement's own subtree — a
+// thread the goroutine creates for itself — are fine.
+func checkGoCapture(p *Pass, g *ast.GoStmt) {
+	info := p.Pkg.Info
+	declaredInside := func(id *ast.Ident) bool {
+		obj := info.Uses[id]
+		return obj != nil && obj.Pos() >= g.Pos() && obj.Pos() < g.End()
+	}
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[expr]
+		if !ok {
+			return true
+		}
+		var kind string
+		switch {
+		case stmNamedPtr(tv.Type, "Tx"):
+			kind = "*stm.Tx"
+		case stmNamedPtr(tv.Type, "Thread"):
+			kind = "*stm.Thread"
+		default:
+			return true
+		}
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			v, isVar := info.Uses[e].(*types.Var)
+			if !isVar || v.IsField() || declaredInside(e) {
+				return true
+			}
+			p.Reportf(e.Pos(), "%s %q captured by a goroutine escapes its %s; create a new Thread inside the goroutine",
+				kind, e.Name, ownerNoun(kind))
+			return false
+		case *ast.SelectorExpr:
+			if root := rootIdent(e); root != nil && declaredInside(root) {
+				return true
+			}
+			p.Reportf(e.Pos(), "%s reached through %q inside a goroutine escapes its %s; create a new Thread inside the goroutine",
+				kind, exprString(e), ownerNoun(kind))
+			return false
+		default:
+			// Calls (e.g. stm.NewThread inside the goroutine) and other
+			// expressions produce fresh values; descend into operands.
+			return true
+		}
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector chain
+// (a.b.c -> a), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "expression"
+	}
+}
+
+func ownerNoun(kind string) string {
+	if kind == "*stm.Tx" {
+		return "transaction"
+	}
+	return "worker"
+}
+
+// checkEscapingAssign flags assignments that store a *stm.Tx into
+// storage that outlives the transaction: struct fields, map or slice
+// elements, dereferenced pointers, and package-level variables.
+func checkEscapingAssign(p *Pass, a *ast.AssignStmt) {
+	info := p.Pkg.Info
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, rhs := range a.Rhs {
+		tv, ok := info.Types[rhs]
+		if !ok || !stmNamedPtr(tv.Type, "Tx") {
+			continue
+		}
+		switch lhs := ast.Unparen(a.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			p.Reportf(a.Pos(), "*stm.Tx stored into field %s outlives the transaction; pass the Tx as a parameter instead", lhs.Sel.Name)
+		case *ast.IndexExpr, *ast.StarExpr:
+			p.Reportf(a.Pos(), "*stm.Tx stored through a pointer or into a container outlives the transaction; pass the Tx as a parameter instead")
+		case *ast.Ident:
+			if obj := info.Uses[lhs]; obj != nil && obj.Parent() == obj.Pkg().Scope() {
+				p.Reportf(a.Pos(), "*stm.Tx stored into package-level variable %s outlives the transaction", lhs.Name)
+			}
+		}
+	}
+}

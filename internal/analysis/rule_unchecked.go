@@ -1,0 +1,64 @@
+package analysis
+
+import "go/ast"
+
+// unchecked-atomic: Thread.Atomic's error result discarded. Atomic does
+// not retry forever: if the body returns an error or calls tx.Abort the
+// transaction rolls back and the error comes out of Atomic — that is
+// the paper's program-directed self-abort channel (§4), the only way a
+// transaction reports "I saw an inconsistency and undid myself".
+// Dropping the result (a bare call statement, `_ =`, or go/defer-ing
+// the call) silently swallows those aborts: the caller proceeds as if
+// the transaction committed when none of its effects exist.
+var ruleUncheckedAtomic = &Rule{
+	ID:  "unchecked-atomic",
+	Doc: "Thread.Atomic's error result discarded (user aborts are silently lost)",
+	Run: runUncheckedAtomic,
+}
+
+func runUncheckedAtomic(p *Pass) {
+	info := p.Pkg.Info
+	isAtomic := func(e ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		return call, isSTMMethod(info, call, "Thread", "Atomic")
+	}
+	p.forEachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := isAtomic(n.X); ok {
+					p.Reportf(call.Pos(), "Atomic's error result discarded; it carries user aborts (tx.Abort / body errors) whose effects were rolled back")
+				}
+			case *ast.GoStmt:
+				if call, ok := isAtomic(n.Call); ok {
+					p.Reportf(call.Pos(), "Atomic launched with go discards its error result; run it inside the goroutine and handle the error")
+				}
+			case *ast.DeferStmt:
+				if call, ok := isAtomic(n.Call); ok {
+					p.Reportf(call.Pos(), "deferred Atomic discards its error result; wrap it in a closure and handle the error")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := isAtomic(n.Rhs[0])
+				if !ok {
+					return true
+				}
+				allBlank := true
+				for _, lhs := range n.Lhs {
+					if id, isID := ast.Unparen(lhs).(*ast.Ident); !isID || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					p.Reportf(call.Pos(), "Atomic's error result assigned to _; it carries user aborts whose effects were rolled back")
+				}
+			}
+			return true
+		})
+	})
+}

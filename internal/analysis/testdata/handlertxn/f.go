@@ -1,0 +1,74 @@
+// Package fixture exercises the handler-txn rule.
+package fixture
+
+import (
+	"sync"
+
+	"tcc/internal/stm"
+)
+
+type registry struct {
+	mu      sync.Mutex
+	commits int
+	owner   *stm.Handle
+}
+
+// bad: commit handler touches transactional state.
+func handlerVar(th *stm.Thread, v *stm.Var[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		tx.OnCommit(func() {
+			v.SetCommitted(1) // want handler-txn
+		})
+		return nil
+	})
+}
+
+// bad: abort handler starts a new top-level transaction.
+func handlerAtomic(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		tx.OnTopAbort(func() {
+			err := th.Atomic(func(tx2 *stm.Tx) error { return nil }) // want handler-txn
+			_ = err
+		})
+		return nil
+	})
+}
+
+// bad: handler opens a nested transaction on the dead Tx.
+func handlerOpen(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		tx.OnAbort(func() {
+			err := tx.Open(func(o *stm.Tx) error { return nil }) // want handler-txn
+			_ = err
+		})
+		return nil
+	})
+}
+
+// bad: handler uses the captured *stm.Tx (dead by the time it runs).
+func handlerCapturesTx(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		tx.OnCommit(func() {
+			tx.Poll() // want handler-txn
+		})
+		return nil
+	})
+}
+
+// clean: the collection-class pattern — capture Handle and Thread
+// before registering; the handler compensates on non-transactional
+// state under its own mutex and charges time via DeferTick.
+func cleanHandler(th *stm.Thread, reg *registry) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		h := tx.Handle()
+		thd := tx.Thread()
+		tx.OnTopCommit(func() {
+			reg.mu.Lock()
+			reg.commits++
+			reg.owner = h
+			reg.mu.Unlock()
+			thd.DeferTick(8)
+		})
+		return nil
+	})
+}

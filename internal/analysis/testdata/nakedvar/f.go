@@ -1,0 +1,39 @@
+// Package fixture exercises the naked-var-access rule.
+package fixture
+
+import "tcc/internal/stm"
+
+// bad: committed read while inside a transaction bypasses snapshot
+// validation — the transaction can commit on unserializable state.
+func nakedInBody(th *stm.Thread, v *stm.Var[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		if v.GetCommitted() > 0 { // want naked-var-access
+			v.Set(tx, 0)
+		}
+		return nil
+	})
+}
+
+// bad: committed write in a helper that has the transaction in scope
+// (the write is neither buffered nor rolled back on abort).
+func nakedWithTxParam(tx *stm.Tx, v *stm.Var[int]) {
+	v.SetCommitted(42) // want naked-var-access
+}
+
+// clean: single-threaded setup before any transaction exists.
+func cleanSetup(v *stm.Var[int]) {
+	v.SetCommitted(1)
+}
+
+// clean: post-run inspection outside any transaction.
+func cleanInspect(v *stm.Var[int]) int {
+	return v.GetCommitted()
+}
+
+// clean: transactional access through the in-scope Tx.
+func cleanTransactional(th *stm.Thread, v *stm.Var[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		v.Set(tx, v.Get(tx)+1)
+		return nil
+	})
+}

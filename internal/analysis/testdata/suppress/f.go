@@ -1,0 +1,31 @@
+// Package fixture exercises //stmlint:ignore suppression.
+package fixture
+
+import "tcc/internal/stm"
+
+var globalTx *stm.Tx
+
+// Suppression on the line above the finding.
+func suppressedAbove(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		//stmlint:ignore tx-escape fixture demonstrating standalone suppression
+		globalTx = tx
+		return nil
+	})
+}
+
+// End-of-line suppression.
+func suppressedEOL(th *stm.Thread) {
+	_ = th.Atomic(func(tx *stm.Tx) error { return nil }) //stmlint:ignore unchecked-atomic body cannot fail
+}
+
+// "all" suppresses every rule on the line.
+func suppressedAll(th *stm.Thread) {
+	_ = th.Atomic(func(tx *stm.Tx) error { return nil }) //stmlint:ignore all fixture
+}
+
+// A directive naming a different rule does not suppress.
+func wrongRule(th *stm.Thread) {
+	//stmlint:ignore nondeterminism directive for another rule must not suppress
+	_ = th.Atomic(func(tx *stm.Tx) error { return nil }) // want unchecked-atomic
+}

@@ -1,0 +1,84 @@
+// Package fixture exercises the tx-escape rule.
+package fixture
+
+import "tcc/internal/stm"
+
+type holder struct {
+	tx *stm.Tx
+}
+
+var globalTx *stm.Tx
+
+// bad: goroutine captures the transaction; it outlives the commit.
+func escapeGo(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		go func() {
+			tx.Poll() // want tx-escape
+		}()
+		return nil
+	})
+}
+
+// bad: the worker thread is handed to a goroutine (threads are
+// single-worker state: RNG and in-transaction flag are unsynchronized).
+func escapeThreadGo(th *stm.Thread) {
+	go runWorker(th) // want tx-escape
+}
+
+func runWorker(th *stm.Thread) {
+	if err := th.Atomic(func(tx *stm.Tx) error { return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// bad: stored into a struct field that outlives the transaction.
+func escapeField(h *holder, th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		h.tx = tx // want tx-escape
+		return nil
+	})
+}
+
+// bad: stored into a package-level variable.
+func escapeGlobal(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		globalTx = tx // want tx-escape
+		return nil
+	})
+}
+
+// bad: placed in a composite literal.
+func escapeLit(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		h := holder{tx: tx} // want tx-escape
+		_ = h
+		return nil
+	})
+}
+
+// clean: passing tx down the call stack as a parameter.
+func cleanParam(th *stm.Thread, v *stm.Var[int]) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		bump(tx, v)
+		return nil
+	})
+}
+
+func bump(tx *stm.Tx, v *stm.Var[int]) { v.Set(tx, v.Get(tx)+1) }
+
+// clean: a goroutine that creates its own worker thread.
+func cleanGo(done chan error) {
+	go func() {
+		th := stm.NewThread(&stm.RealClock{}, 7)
+		done <- th.Atomic(func(tx *stm.Tx) error { return nil })
+	}()
+}
+
+// clean: a local rebinding does not outlive the transaction.
+func cleanLocal(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		cur := tx
+		cur.Poll()
+		return nil
+	})
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the unchecked-atomic rule.
+package fixture
+
+import "tcc/internal/stm"
+
+// bad: bare call statement drops the error.
+func discardStmt(th *stm.Thread) {
+	th.Atomic(func(tx *stm.Tx) error { return nil }) // want unchecked-atomic
+}
+
+// bad: explicit blank assignment still swallows user aborts.
+func discardBlank(th *stm.Thread) {
+	_ = th.Atomic(func(tx *stm.Tx) error { return nil }) // want unchecked-atomic
+}
+
+// bad: go'ing the call discards the error (and leaks the thread).
+func discardGo(th *stm.Thread) {
+	go th.Atomic(func(tx *stm.Tx) error { return nil }) // want tx-escape unchecked-atomic
+}
+
+// bad: deferring the call discards the error.
+func discardDefer(th *stm.Thread) {
+	defer th.Atomic(func(tx *stm.Tx) error { return nil }) // want unchecked-atomic
+}
+
+// clean: error propagated.
+func checkErr(th *stm.Thread) error {
+	return th.Atomic(func(tx *stm.Tx) error { return nil })
+}
+
+// clean: error handled.
+func handleErr(th *stm.Thread) {
+	if err := th.Atomic(func(tx *stm.Tx) error { return nil }); err != nil {
+		panic(err)
+	}
+}

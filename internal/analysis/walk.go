@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isSTMPath reports whether an import path names the STM package that
+// defines Thread/Tx/Var/Handle. Matching by path suffix keeps the rules
+// independent of the module name (fixtures, forks, renames).
+func isSTMPath(path string) bool {
+	return path == "stm" || strings.HasSuffix(path, "/stm")
+}
+
+// isSTMPackage reports whether the package under analysis is the STM
+// implementation itself. The implementation is exempt from the rules
+// that govern *clients* of the API (it constructs Tx values, touches
+// varCore directly, and so on).
+func (p *Pass) isSTMPackage() bool { return isSTMPath(p.Pkg.Path) }
+
+// calleeFunc resolves the function or method called by call, or nil if
+// the callee is not a declared function (e.g. a function-typed
+// variable, a conversion, or a builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named type of fn's receiver (pointers
+// dereferenced, generic instances reduced to their origin), or nil for
+// package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Origin()
+}
+
+// isSTMMethod reports whether call invokes the method recv.name of the
+// STM package (e.g. isSTMMethod(call, "Thread", "Atomic")).
+func isSTMMethod(info *types.Info, call *ast.CallExpr, recv, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Name() != recv {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && isSTMPath(pkg.Path())
+}
+
+// stmNamedPtr reports whether t is a pointer to the STM package's named
+// type with the given name (*stm.Tx, *stm.Thread, ...).
+func stmNamedPtr(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Name() == name && obj.Pkg() != nil && isSTMPath(obj.Pkg().Path())
+}
+
+// bodyKind classifies a function literal by how the STM will run it.
+type bodyKind int
+
+const (
+	bodyPlain   bodyKind = iota
+	bodyTx               // argument to Thread.Atomic, Tx.Open or Tx.Nested
+	bodyHandler          // argument to OnCommit/OnAbort/OnTopCommit/OnTopAbort
+	bodyGo               // launched by a go statement
+)
+
+// funcCtx is the transactional context in effect at a node.
+type funcCtx struct {
+	// inTx: lexically inside the body closure of Atomic/Open/Nested
+	// (including plain nested closures, which may be invoked inline).
+	inTx bool
+	// inHandler: lexically inside a commit/abort handler closure.
+	inHandler bool
+	// txInScope: a *stm.Tx is reachable here — either because we are
+	// inside a transactional body or because an enclosing function (up
+	// to the nearest goroutine boundary) declares a *stm.Tx parameter.
+	txInScope bool
+}
+
+// classifyFuncLits maps every function literal in f to its bodyKind.
+func classifyFuncLits(info *types.Info, f *ast.File) map[*ast.FuncLit]bodyKind {
+	kinds := make(map[*ast.FuncLit]bodyKind)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				kinds[lit] = bodyGo
+			}
+		case *ast.CallExpr:
+			if len(n.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			switch {
+			case isSTMMethod(info, n, "Thread", "Atomic"),
+				isSTMMethod(info, n, "Tx", "Open"),
+				isSTMMethod(info, n, "Tx", "Nested"):
+				kinds[lit] = bodyTx
+			case isSTMMethod(info, n, "Tx", "OnCommit"),
+				isSTMMethod(info, n, "Tx", "OnAbort"),
+				isSTMMethod(info, n, "Tx", "OnTopCommit"),
+				isSTMMethod(info, n, "Tx", "OnTopAbort"):
+				kinds[lit] = bodyHandler
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+// hasTxParam reports whether the function type declares a *stm.Tx
+// parameter or receiver.
+func hasTxParam(info *types.Info, ft *ast.FuncType, recv *ast.FieldList) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			if tv, ok := info.Types[field.Type]; ok && stmNamedPtr(tv.Type, "Tx") {
+				return true
+			}
+		}
+		return false
+	}
+	return check(ft.Params) || check(recv)
+}
+
+// walkCtx traverses f, invoking visit for every node with the
+// transactional context in effect at that node. Goroutine bodies reset
+// the context (they run concurrently with, not inside, the
+// transaction); handler bodies run after the transaction's fate is
+// decided and so clear inTx.
+func (p *Pass) walkCtx(f *ast.File, visit func(n ast.Node, ctx funcCtx)) {
+	info := p.Pkg.Info
+	kinds := classifyFuncLits(info, f)
+
+	var walk func(n ast.Node, ctx funcCtx)
+	walk = func(n ast.Node, ctx funcCtx) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ctx = funcCtx{txInScope: hasTxParam(info, n.Type, n.Recv)}
+		case *ast.FuncLit:
+			switch kinds[n] {
+			case bodyTx:
+				ctx = funcCtx{inTx: true, txInScope: true}
+			case bodyHandler:
+				ctx = funcCtx{inHandler: true}
+			case bodyGo:
+				ctx = funcCtx{}
+			default:
+				// Plain closure: inherits its lexical context.
+			}
+			if hasTxParam(info, n.Type, nil) {
+				ctx.txInScope = true
+			}
+		}
+		visit2 := func(child ast.Node) bool {
+			if child == nil || child == n {
+				return child == n
+			}
+			walk(child, ctx)
+			return false
+		}
+		visit(n, ctx)
+		ast.Inspect(n, visit2)
+	}
+	walk(f, funcCtx{})
+}

@@ -44,6 +44,7 @@ type mapEntry[K comparable, V any] struct {
 // Enumeration order is implementation-defined (like HashMap's).
 func (tm *TransactionalMap[K, V]) Iterator(tx *stm.Tx) *MapIterator[K, V] {
 	l := tm.local(tx)
+	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 2) and documented not to outlive tx
 	it := &MapIterator[K, V]{tm: tm, tx: tx, l: l}
 	_ = tx.Open(func(o *stm.Tx) error {
 		tm.mu.Lock()

@@ -204,6 +204,7 @@ func (t *TransactionalSortedMap[K, V]) Iterator(tx *stm.Tx) *SortedIterator[K, V
 }
 
 func (t *TransactionalSortedMap[K, V]) rangeIterator(tx *stm.Tx, lo, hi *K) *SortedIterator[K, V] {
+	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 5) and documented not to outlive tx
 	return &SortedIterator[K, V]{t: t, tx: tx, l: t.local(tx), lo: lo, hi: hi}
 }
 

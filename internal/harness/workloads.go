@@ -76,6 +76,17 @@ type Config struct {
 // pre-measurement population of transactional structures.
 func setupThread() *stm.Thread { return stm.NewThread(&stm.RealClock{}, 12345) }
 
+// MustAtomic runs fn as a top-level transaction and panics on error.
+// The benchmark bodies never return errors and never call tx.Abort, so
+// an error here is a harness bug; panicking loudly beats the silent
+// `_ =` discard that would let a rolled-back transaction count as a
+// completed operation.
+func MustAtomic(th *stm.Thread, fn func(tx *stm.Tx) error) {
+	if err := th.Atomic(fn); err != nil {
+		panic(err)
+	}
+}
+
 // TestMapConfigs builds the three Figure 1 configurations: Java HashMap
 // (coarse lock per operation), Atomos HashMap (STM-instrumented map
 // accessed directly inside the long transaction), and Atomos
@@ -113,7 +124,7 @@ func TestMapConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				m := stmcol.NewHashMap[int, int]()
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						m.Put(tx, i, i)
 					}
@@ -121,7 +132,7 @@ func TestMapConfigs(p MapBenchParams) []Config {
 				})
 				return func(w *Worker) {
 					op, k := p.drawOp(w)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 2)
 						switch op {
 						case opRead:
@@ -142,7 +153,7 @@ func TestMapConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						tm.Put(tx, i, i)
 					}
@@ -150,7 +161,7 @@ func TestMapConfigs(p MapBenchParams) []Config {
 				})
 				return func(w *Worker) {
 					op, k := p.drawOp(w)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 2)
 						switch op {
 						case opRead:
@@ -222,7 +233,7 @@ func TestSortedMapConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				m := stmcol.NewTreeMap[int, int]()
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						m.Put(tx, i*2, i)
 					}
@@ -230,7 +241,7 @@ func TestSortedMapConfigs(p MapBenchParams) []Config {
 				})
 				return func(w *Worker) {
 					op, k := p.drawOp(w)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 2)
 						switch op {
 						case opRead:
@@ -260,7 +271,7 @@ func TestSortedMapConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				tm := core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]())
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						tm.Put(tx, i*2, i)
 					}
@@ -268,7 +279,7 @@ func TestSortedMapConfigs(p MapBenchParams) []Config {
 				})
 				return func(w *Worker) {
 					op, k := p.drawOp(w)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 2)
 						switch op {
 						case opRead:
@@ -328,7 +339,7 @@ func TestCompoundConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				m := stmcol.NewHashMap[int, int]()
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						m.Put(tx, i, i)
 					}
@@ -337,7 +348,7 @@ func TestCompoundConfigs(p MapBenchParams) []Config {
 				return func(w *Worker) {
 					k1 := w.RNG.Intn(p.KeySpace)
 					k2 := w.RNG.Intn(p.KeySpace)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 3)
 						v, _ := m.Get(tx, k1)
 						w.Compute(p.Compute / 3)
@@ -353,7 +364,7 @@ func TestCompoundConfigs(p MapBenchParams) []Config {
 			Setup: func(pl Platform) func(w *Worker) {
 				tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
 				th := setupThread()
-				_ = th.Atomic(func(tx *stm.Tx) error {
+				MustAtomic(th, func(tx *stm.Tx) error {
 					for i := 0; i < p.Prepopulate; i++ {
 						tm.Put(tx, i, i)
 					}
@@ -362,7 +373,7 @@ func TestCompoundConfigs(p MapBenchParams) []Config {
 				return func(w *Worker) {
 					k1 := w.RNG.Intn(p.KeySpace)
 					k2 := w.RNG.Intn(p.KeySpace)
-					_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					MustAtomic(w.Thread, func(tx *stm.Tx) error {
 						w.Compute(p.Compute / 3)
 						v, _ := tm.Get(tx, k1)
 						w.Compute(p.Compute / 3)

@@ -279,7 +279,7 @@ func (wh *atomosWarehouse) newOrder(w *harness.Worker, d *atomosDistrict) Counts
 	for i := range lines {
 		lines[i] = OrderLine{Item: w.RNG.Intn(wh.p.Items), Qty: 1 + w.RNG.Intn(5)}
 	}
-	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+	harness.MustAtomic(w.Thread, func(tx *stm.Tx) error {
 		w.Compute(wh.p.Compute / 2)
 		wh.countTransaction(tx)
 		oid := d.takeOrderID(tx)
@@ -305,7 +305,7 @@ func (wh *atomosWarehouse) newOrder(w *harness.Worker, d *atomosDistrict) Counts
 func (wh *atomosWarehouse) payment(w *harness.Worker) Counts {
 	customer := w.RNG.Intn(wh.p.Customers)
 	amount := 1 + w.RNG.Intn(100)
-	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+	harness.MustAtomic(w.Thread, func(tx *stm.Tx) error {
 		w.Compute(wh.p.Compute / 2)
 		wh.countTransaction(tx)
 		b := wh.balance[customer]
@@ -323,7 +323,7 @@ func (wh *atomosWarehouse) orderStatus(w *harness.Worker) Counts {
 	// TPC-C's Order-Status queries the status of the *customer's* most
 	// recent order.
 	customer := w.RNG.Intn(wh.p.Customers)
-	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+	harness.MustAtomic(w.Thread, func(tx *stm.Tx) error {
 		w.Compute(wh.p.Compute / 2)
 		wh.countTransaction(tx)
 		if o := wh.lastOrderOf[customer].Get(tx); o != nil {
@@ -341,7 +341,7 @@ func (wh *atomosWarehouse) orderStatus(w *harness.Worker) Counts {
 
 func (wh *atomosWarehouse) delivery(w *harness.Worker, d *atomosDistrict) Counts {
 	delivered := false
-	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+	harness.MustAtomic(w.Thread, func(tx *stm.Tx) error {
 		delivered = false
 		w.Compute(wh.p.Compute / 2)
 		wh.countTransaction(tx)
@@ -360,7 +360,7 @@ func (wh *atomosWarehouse) delivery(w *harness.Worker, d *atomosDistrict) Counts
 }
 
 func (wh *atomosWarehouse) stockLevel(w *harness.Worker, d *atomosDistrict) Counts {
-	_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+	harness.MustAtomic(w.Thread, func(tx *stm.Tx) error {
 		w.Compute(wh.p.Compute / 2)
 		wh.countTransaction(tx)
 		low := 0

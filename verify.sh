@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's full verification gate:
+#
+#   build + vet + race-enabled tests + stmlint discipline check
+#   + a tiny deterministic tccbench smoke run.
+#
+# Tier-1 (see ROADMAP.md) is the subset `go build ./... && go test ./...`;
+# this script is the superset CI should run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== stmlint ./..."
+go run ./cmd/stmlint ./...
+
+echo "== tccbench smoke (figure 1, tiny config)"
+go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
+
+echo "verify: OK"
