@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tcc/internal/stm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSTMReadOnly4Var-8   	 1658776	       139.5 ns/op	      32 B/op	       1 allocs/op
+BenchmarkSTMNestedRetry-8    	  121449	      1813 ns/op	     159 B/op	       6 allocs/op
+PASS
+ok  	tcc/internal/stm	1.351s
+pkg: tcc
+BenchmarkFigure1-8           	       1	123456789 ns/op	        11.79 atomos@32x	        21.02 java@32x	        26.01 tcc@32x
+some unrelated log line
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("env header parsed wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	ro := rep.Benchmarks[0]
+	if ro.Pkg != "tcc/internal/stm" || ro.Name != "STMReadOnly4Var" || ro.Iterations != 1658776 {
+		t.Fatalf("first benchmark parsed wrong: %+v", ro)
+	}
+	if ro.Metrics["ns/op"] != 139.5 || ro.Metrics["allocs/op"] != 1 {
+		t.Fatalf("metrics parsed wrong: %+v", ro.Metrics)
+	}
+	fig := rep.Benchmarks[2]
+	if fig.Pkg != "tcc" || fig.Name != "Figure1" {
+		t.Fatalf("figure benchmark parsed wrong: %+v", fig)
+	}
+	if fig.Metrics["java@32x"] != 21.02 || fig.Metrics["tcc@32x"] != 26.01 {
+		t.Fatalf("custom metrics parsed wrong: %+v", fig.Metrics)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"STMReadOnly4Var-8":    "STMReadOnly4Var",
+		"STMReadOnly4Var":      "STMReadOnly4Var",
+		"RealSTM/ReadOnlyTx-8": "RealSTM/ReadOnlyTx",
+		"X/size-128":           "X/size", // trailing dash-number is always treated as GOMAXPROCS
+		"X/size-128-8":         "X/size-128",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

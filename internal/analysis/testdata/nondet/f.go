@@ -3,6 +3,7 @@ package fixture
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"tcc/internal/stm"
@@ -61,4 +62,30 @@ func cleanOutside(th *stm.Thread) (time.Duration, error) {
 	start := time.Now()
 	err := th.Atomic(func(tx *stm.Tx) error { return nil })
 	return time.Since(start), err
+}
+
+// clean: sync/atomic operations inside a transactional body. Atomic
+// loads, stores and CASes are deterministic single-word memory
+// operations with no hidden host state — the idiom the stm core's TL2
+// packed lockword uses on every read and commit — and must never be
+// confused with the wall-clock/global-RNG nondeterminism this rule
+// polices.
+func cleanAtomics(th *stm.Thread, v *stm.Var[uint64], epoch *atomic.Uint64) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		v.Set(tx, epoch.Add(1))
+		return nil
+	})
+}
+
+// clean: a CAS spin loop inside a transactional body, the shape of the
+// lockword acquire protocol.
+func cleanCASSpin(th *stm.Thread, word *atomic.Uint64) error {
+	return th.Atomic(func(tx *stm.Tx) error {
+		for {
+			w := word.Load()
+			if word.CompareAndSwap(w, w|1) {
+				return nil
+			}
+		}
+	})
 }

@@ -79,6 +79,13 @@ func (s *Stats) Add(other Stats) {
 // Thread is one transactional worker: a clock for charging time, a
 // deterministic RNG for contention backoff, and event counters. Each
 // concurrent worker (goroutine or virtual CPU) needs its own Thread.
+//
+// The Thread also owns the recycling pools that make the retry loop
+// allocation-free in steady state: Tx objects, nesting levels (with
+// their inline read/write sets and spill maps), and the sorted
+// write-set scratch used at commit are all reused across attempts and
+// across transactions. Only the per-attempt Handle is allocated fresh,
+// because handles outlive attempts in semantic lock tables.
 type Thread struct {
 	// Clock charges this worker's time; on the simulator it is the
 	// worker's virtual CPU.
@@ -94,12 +101,72 @@ type Thread struct {
 	// policy is the contention-management policy; nil means the default
 	// randomized exponential backoff.
 	policy BackoffPolicy
+	// txPool and levelPool recycle transaction and nesting-level
+	// objects; commitBuf is the sorted write-set scratch.
+	txPool    []*Tx
+	levelPool []*level
+	commitBuf writeBuf
 }
 
 // NewThread creates a worker bound to a clock, with a deterministic
 // backoff RNG seeded by seed.
 func NewThread(clock Clock, seed int64) *Thread {
 	return &Thread{Clock: clock, rng: rand.New(rand.NewSource(seed))}
+}
+
+// getTx pops a recycled Tx or allocates one.
+func (t *Thread) getTx() *Tx {
+	if n := len(t.txPool) - 1; n >= 0 {
+		tx := t.txPool[n]
+		t.txPool[n] = nil
+		t.txPool = t.txPool[:n]
+		return tx
+	}
+	return &Tx{}
+}
+
+// putTx returns a finished Tx (and its level chain) to the pools. The
+// locals map is cleared but kept, so collections that attach buffers
+// every transaction stop paying for the map after the first one.
+func (t *Thread) putTx(tx *Tx) {
+	t.releaseLevels(tx)
+	tx.thread = nil
+	tx.handle = nil
+	tx.outer = nil
+	tx.readVersion = 0
+	tx.attempt = 0
+	if tx.locals != nil {
+		clear(tx.locals)
+	}
+	t.txPool = append(t.txPool, tx)
+}
+
+// getLevel pops a recycled level or allocates one.
+func (t *Thread) getLevel(parent *level) *level {
+	if n := len(t.levelPool) - 1; n >= 0 {
+		l := t.levelPool[n]
+		t.levelPool[n] = nil
+		t.levelPool = t.levelPool[:n]
+		l.parent = parent
+		return l
+	}
+	return &level{parent: parent}
+}
+
+// putLevel resets a level and returns it to the pool.
+func (t *Thread) putLevel(l *level) {
+	l.reset()
+	t.levelPool = append(t.levelPool, l)
+}
+
+// releaseLevels returns a Tx's whole level chain to the pool.
+func (t *Thread) releaseLevels(tx *Tx) {
+	for l := tx.cur; l != nil; {
+		next := l.parent
+		t.putLevel(l)
+		l = next
+	}
+	tx.cur = nil
 }
 
 // DeferTick records cycles to charge once the current commit or abort
@@ -143,20 +210,24 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 	t.inTx = true
 	defer func() { t.inTx = false }()
 
+	tx := t.getTx()
 	for attempt := 0; ; attempt++ {
 		t.Clock.Tick(CostTxBegin)
-		tx := &Tx{
-			thread:      t,
-			handle:      &Handle{birth: t.Clock.Now()},
-			readVersion: globalClock.Load(),
-			cur:         newLevel(nil),
-			attempt:     attempt,
+		tx.thread = t
+		tx.handle = &Handle{birth: t.Clock.Now()}
+		tx.outer = nil
+		tx.readVersion = globalClock.Load()
+		tx.cur = t.getLevel(nil)
+		tx.attempt = attempt
+		if tx.locals != nil {
+			clear(tx.locals)
 		}
-		err, sig := runBody(func() error { return fn(tx) })
+		err, sig := runTx(fn, tx)
 		switch {
 		case sig == nil && err == nil:
 			if tx.commit() {
 				t.Stats.Commits++
+				t.putTx(tx)
 				return nil
 			}
 			tx.rollback()
@@ -168,10 +239,12 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 		case sig == nil && err != nil:
 			tx.rollback()
 			t.Stats.UserAborts++
+			t.putTx(tx)
 			return err
 		case sig.kind == sigUserAbort:
 			tx.rollback()
 			t.Stats.UserAborts++
+			t.putTx(tx)
 			return sig.err
 		case sig.kind == sigViolated:
 			tx.rollback()
@@ -180,6 +253,7 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 			tx.rollback()
 			t.Stats.Aborts++
 		}
+		t.releaseLevels(tx)
 		t.backoff(attempt)
 	}
 }
@@ -197,96 +271,41 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 // child aborts: no effects, no handlers, and the error is returned with
 // the parent still viable.
 func (tx *Tx) Open(fn func(o *Tx) error) error {
+	t := tx.thread
+	o := t.getTx()
+	o.thread = t
+	o.handle = tx.handle // locks taken inside are owned by the top-level tx
+	o.outer = tx
 	for attempt := 0; ; attempt++ {
-		tx.check()
-		o := &Tx{
-			thread:      tx.thread,
-			handle:      tx.handle, // locks taken inside are owned by the top-level tx
-			outer:       tx,
-			readVersion: globalClock.Load(),
-			cur:         newLevel(nil),
+		if tx.handle.violated() {
+			t.putTx(o)
+			tx.check()
 		}
-		err, sig := runBody(func() error { return fn(o) })
+		o.readVersion = globalClock.Load()
+		o.cur = t.getLevel(nil)
+		err, sig := runTx(fn, o)
 		switch {
 		case sig == nil && err == nil:
 			if o.commitOpen() {
 				tx.cur.onCommit = append(tx.cur.onCommit, o.cur.onCommit...)
 				tx.cur.onAbort = append(tx.cur.onAbort, o.cur.onAbort...)
-				tx.thread.Stats.OpenCommits++
+				t.putTx(o)
+				t.Stats.OpenCommits++
 				tx.tick(CostOpenCommit)
 				return nil
 			}
-			tx.thread.Stats.OpenRetries++
+			t.Stats.OpenRetries++
 		case sig == nil && err != nil:
+			t.putTx(o)
 			return err
 		case sig.kind == sigRetry:
-			tx.thread.Stats.OpenRetries++
+			t.Stats.OpenRetries++
 		default:
 			// Violation or user abort of the enclosing transaction.
+			t.putTx(o)
 			panic(sig)
 		}
-		tx.thread.backoff(attempt)
+		t.releaseLevels(o)
+		t.backoff(attempt)
 	}
-}
-
-// commitOpen installs an open-nested child's writes immediately, like a
-// top-level commit but without touching the shared handle's lifecycle
-// (the parent remains Active) and without running handlers (they attach
-// to the parent instead). A parent violated mid-install still completes
-// the install — the attached abort handlers will compensate — and the
-// violation is observed at the parent's next check.
-func (o *Tx) commitOpen() bool {
-	l := o.cur
-	if l.parent != nil {
-		panic("stm: open commit with open nested level")
-	}
-	if len(l.writes) == 0 {
-		return true
-	}
-	cores := make([]*varCore, 0, len(l.writes))
-	for c := range l.writes {
-		cores = append(cores, c)
-	}
-	for i := 1; i < len(cores); i++ {
-		for j := i; j > 0 && cores[j].id < cores[j-1].id; j-- {
-			cores[j], cores[j-1] = cores[j-1], cores[j]
-		}
-	}
-	locked := 0
-	release := func() {
-		for _, c := range cores[:locked] {
-			c.mu.Lock()
-			c.owner = nil
-			c.mu.Unlock()
-		}
-	}
-	for _, c := range cores {
-		c.mu.Lock()
-		if c.owner != nil && c.owner != o.handle {
-			c.mu.Unlock()
-			release()
-			return false
-		}
-		c.owner = o.handle
-		c.mu.Unlock()
-		locked++
-	}
-	for c, ver := range l.reads {
-		c.mu.Lock()
-		ok := c.ver == ver && (c.owner == nil || c.owner == o.handle)
-		c.mu.Unlock()
-		if !ok {
-			release()
-			return false
-		}
-	}
-	wv := globalClock.Add(1)
-	for _, c := range cores {
-		c.mu.Lock()
-		c.val = l.writes[c]
-		c.ver = wv
-		c.owner = nil
-		c.mu.Unlock()
-	}
-	return true
 }

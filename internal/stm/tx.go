@@ -35,32 +35,207 @@ func (s *signal) String() string {
 // handler is a registered commit or abort handler.
 type handler func()
 
+// inlineSet is how many read-set and write-set entries a nesting level
+// holds in fixed arrays before spilling to a map. Most transactions in
+// the paper's workloads touch a handful of vars per level (a bucket
+// head, a size field, a counter), so the common case allocates nothing.
+const inlineSet = 8
+
+// readEntry records one sampled read: the variable and the version the
+// transaction observed.
+type readEntry struct {
+	c   *varCore
+	ver uint64
+}
+
+// readSet is a small-size-optimized map from varCore to observed
+// version: the first inlineSet distinct vars live in an inline array,
+// the rest spill to a lazily allocated map. Entries are deduplicated by
+// core (matching the previous map semantics: re-reading a var
+// overwrites its recorded version).
+type readSet struct {
+	n      int // entries used in inline
+	inline [inlineSet]readEntry
+	spill  map[*varCore]uint64
+}
+
+// put records (c, ver), overwriting any existing entry for c.
+func (s *readSet) put(c *varCore, ver uint64) {
+	for i := 0; i < s.n; i++ {
+		if s.inline[i].c == c {
+			s.inline[i].ver = ver
+			return
+		}
+	}
+	if s.spill != nil {
+		if _, ok := s.spill[c]; ok {
+			s.spill[c] = ver
+			return
+		}
+	}
+	if s.n < inlineSet {
+		s.inline[s.n] = readEntry{c, ver}
+		s.n++
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[*varCore]uint64)
+	}
+	s.spill[c] = ver
+}
+
+// has reports whether c has a recorded read.
+func (s *readSet) has(c *varCore) bool {
+	for i := 0; i < s.n; i++ {
+		if s.inline[i].c == c {
+			return true
+		}
+	}
+	_, ok := s.spill[c]
+	return ok
+}
+
+// len returns the number of recorded reads.
+func (s *readSet) len() int { return s.n + len(s.spill) }
+
+// allCurrent reports whether every recorded read is still at its
+// recorded version and not locked by a transaction other than self —
+// the shared predicate of TL2 read-version extension and commit-time
+// read validation. One atomic load per unlocked entry.
+func (s *readSet) allCurrent(self *Handle) bool {
+	for i := 0; i < s.n; i++ {
+		cur, lockedByOther := s.inline[i].c.peek(self)
+		if lockedByOther || cur != s.inline[i].ver {
+			return false
+		}
+	}
+	for c, ver := range s.spill {
+		cur, lockedByOther := c.peek(self)
+		if lockedByOther || cur != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// reset clears the set for reuse, dropping core pointers so recycled
+// levels do not pin dead variables.
+func (s *readSet) reset() {
+	for i := 0; i < s.n; i++ {
+		s.inline[i] = readEntry{}
+	}
+	s.n = 0
+	if s.spill != nil {
+		clear(s.spill)
+	}
+}
+
+// writeEntry is one buffered write: the variable and the pending value.
+type writeEntry struct {
+	c   *varCore
+	val any
+}
+
+// writeSet is the write-set analogue of readSet: inline array first,
+// map spill after, deduplicated by core with last-write-wins values.
+type writeSet struct {
+	n      int
+	inline [inlineSet]writeEntry
+	spill  map[*varCore]any
+}
+
+// get returns the buffered value for c, if any.
+func (s *writeSet) get(c *varCore) (any, bool) {
+	for i := 0; i < s.n; i++ {
+		if s.inline[i].c == c {
+			return s.inline[i].val, true
+		}
+	}
+	if s.spill != nil {
+		val, ok := s.spill[c]
+		return val, ok
+	}
+	return nil, false
+}
+
+// put buffers val for c, overwriting any existing entry.
+func (s *writeSet) put(c *varCore, val any) {
+	for i := 0; i < s.n; i++ {
+		if s.inline[i].c == c {
+			s.inline[i].val = val
+			return
+		}
+	}
+	if s.spill != nil {
+		if _, ok := s.spill[c]; ok {
+			s.spill[c] = val
+			return
+		}
+	}
+	if s.n < inlineSet {
+		s.inline[s.n] = writeEntry{c, val}
+		s.n++
+		return
+	}
+	if s.spill == nil {
+		s.spill = make(map[*varCore]any)
+	}
+	s.spill[c] = val
+}
+
+// len returns the number of buffered writes.
+func (s *writeSet) len() int { return s.n + len(s.spill) }
+
+// reset clears the set for reuse.
+func (s *writeSet) reset() {
+	for i := 0; i < s.n; i++ {
+		s.inline[i] = writeEntry{}
+	}
+	s.n = 0
+	if s.spill != nil {
+		clear(s.spill)
+	}
+}
+
 // level is one closed-nesting level of a transaction: private read and
 // write sets plus the commit/abort handlers registered while it was the
 // current level. Committing a level merges everything into its parent;
 // aborting it discards the sets, runs its abort handlers (compensation
 // for open-nested effects made at this level), and discards its commit
-// handlers — the handler semantics of paper §4.
+// handlers — the handler semantics of paper §4. Levels are recycled
+// through the owning Thread's pool, so steady-state transactions
+// allocate no per-attempt bookkeeping.
 type level struct {
 	parent   *level
-	reads    map[*varCore]uint64
-	writes   map[*varCore]any
+	reads    readSet
+	writes   writeSet
 	onCommit []handler
 	onAbort  []handler
 }
 
-func newLevel(parent *level) *level {
-	return &level{
-		parent: parent,
-		reads:  make(map[*varCore]uint64),
-		writes: make(map[*varCore]any),
+// reset clears the level for reuse. Handler slices keep their backing
+// arrays (the capacity is the point of recycling) but drop the closure
+// references so captured state is not pinned between transactions.
+func (l *level) reset() {
+	l.parent = nil
+	l.reads.reset()
+	l.writes.reset()
+	for i := range l.onCommit {
+		l.onCommit[i] = nil
 	}
+	l.onCommit = l.onCommit[:0]
+	for i := range l.onAbort {
+		l.onAbort[i] = nil
+	}
+	l.onAbort = l.onAbort[:0]
 }
 
 // Tx is a transaction: either a top-level atomic region, or an
 // open-nested child (created by Open) that commits its effects
 // immediately. Closed nesting does not create a new Tx; it pushes a new
-// level onto the same Tx.
+// level onto the same Tx. Tx objects are recycled through the owning
+// Thread; only the Handle — which outlives the attempt in semantic lock
+// tables — is allocated fresh per attempt.
 type Tx struct {
 	thread *Thread
 	// handle identifies the top-level transaction; open-nested children
@@ -198,11 +373,8 @@ func (tx *Tx) tick(cycles uint64) { tx.thread.Clock.Tick(cycles) }
 func (tx *Tx) extend() bool {
 	now := globalClock.Load()
 	for l := tx.cur; l != nil; l = l.parent {
-		for c, ver := range l.reads {
-			cur, locked := c.peek(tx.handle)
-			if locked || cur != ver {
-				return false
-			}
+		if !l.reads.allCurrent(tx.handle) {
+			return false
 		}
 	}
 	tx.readVersion = now
@@ -220,29 +392,23 @@ func (tx *Tx) extend() bool {
 // collection updates can conflict and replay without re-executing the
 // long-running parent (§4 "Nested transactions: open and closed").
 func (tx *Tx) Nested(fn func() error) error {
+	t := tx.thread
 	for childAttempt := 0; ; childAttempt++ {
 		tx.check()
-		child := newLevel(tx.cur)
+		child := t.getLevel(tx.cur)
 		tx.cur = child
 		err, sig := runBody(fn)
 		tx.cur = child.parent
 		switch {
 		case sig == nil && err == nil:
 			// Child commits: merge into parent.
-			for c, ver := range child.reads {
-				if _, dup := tx.cur.reads[c]; !dup {
-					tx.cur.reads[c] = ver
-				}
-			}
-			for c, val := range child.writes {
-				tx.cur.writes[c] = val
-			}
-			tx.cur.onCommit = append(tx.cur.onCommit, child.onCommit...)
-			tx.cur.onAbort = append(tx.cur.onAbort, child.onAbort...)
+			child.mergeInto(tx.cur)
+			t.putLevel(child)
 			return nil
 		case sig == nil && err != nil:
 			// Child aborts by user request: compensate and report.
 			child.runAbortHandlers()
+			t.putLevel(child)
 			return err
 		case sig.kind == sigRetry:
 			// Memory conflict inside the child: partial rollback. The
@@ -251,6 +417,7 @@ func (tx *Tx) Nested(fn func() error) error {
 			// enclosing read is stale and the whole transaction must
 			// restart.
 			child.runAbortHandlers()
+			t.putLevel(child)
 			tx.thread.Stats.NestedRetries++
 			if !tx.extend() {
 				panic(sig)
@@ -260,9 +427,36 @@ func (tx *Tx) Nested(fn func() error) error {
 			// Violation or user abort of the whole transaction: this
 			// child level is rolled back on the way out.
 			child.runAbortHandlers()
+			t.putLevel(child)
 			panic(sig)
 		}
 	}
+}
+
+// mergeInto merges a committed child level into its parent: reads are
+// added if the parent has no entry (the parent's older observation
+// wins), writes overwrite, handlers append in registration order.
+func (child *level) mergeInto(parent *level) {
+	for i := 0; i < child.reads.n; i++ {
+		e := child.reads.inline[i]
+		if !parent.reads.has(e.c) {
+			parent.reads.put(e.c, e.ver)
+		}
+	}
+	for c, ver := range child.reads.spill {
+		if !parent.reads.has(c) {
+			parent.reads.put(c, ver)
+		}
+	}
+	for i := 0; i < child.writes.n; i++ {
+		e := child.writes.inline[i]
+		parent.writes.put(e.c, e.val)
+	}
+	for c, val := range child.writes.spill {
+		parent.writes.put(c, val)
+	}
+	parent.onCommit = append(parent.onCommit, child.onCommit...)
+	parent.onAbort = append(parent.onAbort, child.onAbort...)
 }
 
 // runAbortHandlers runs a level's abort handlers newest-first, so
@@ -272,8 +466,8 @@ func (l *level) runAbortHandlers() {
 	for i := len(l.onAbort) - 1; i >= 0; i-- {
 		l.onAbort[i]()
 	}
-	l.onAbort = nil
-	l.onCommit = nil
+	l.onAbort = l.onAbort[:0]
+	l.onCommit = l.onCommit[:0]
 }
 
 // runBody executes fn, converting signal panics into return values and
@@ -289,6 +483,22 @@ func runBody(fn func() error) (err error, sig *signal) {
 		}
 	}()
 	err = fn()
+	return
+}
+
+// runTx executes fn(tx) like runBody, without allocating an adapter
+// closure on the retry path.
+func runTx(fn func(*Tx) error, tx *Tx) (err error, sig *signal) {
+	defer func() {
+		if r := recover(); r != nil {
+			if s, ok := r.(*signal); ok {
+				sig = s
+				return
+			}
+			panic(r)
+		}
+	}()
+	err = fn(tx)
 	return
 }
 
@@ -314,7 +524,7 @@ func (tx *Tx) commit() bool {
 		commitMu.Unlock()
 	}
 	if ok {
-		tx.tick(CostCommitBase + CostCommitPerWrite*uint64(len(l.writes)))
+		tx.tick(CostCommitBase + CostCommitPerWrite*uint64(l.writes.len()))
 		tx.thread.flushDeferred()
 	}
 	return ok
@@ -324,59 +534,8 @@ func (tx *Tx) commit() bool {
 // without charging any clock time (the caller ticks afterwards, outside
 // the commit guard).
 func (tx *Tx) commitGuarded(l *level) bool {
-	if len(l.writes) == 0 {
-		// Read-only fast path: every read was validated against the
-		// snapshot when it happened, so the transaction is serializable
-		// at readVersion. Only the violation race remains.
-		if !tx.handle.toPrepared() {
-			return false
-		}
-	} else {
-		cores := make([]*varCore, 0, len(l.writes))
-		for c := range l.writes {
-			cores = append(cores, c)
-		}
-		sort.Slice(cores, func(i, j int) bool { return cores[i].id < cores[j].id })
-		locked := 0
-		release := func() {
-			for _, c := range cores[:locked] {
-				c.mu.Lock()
-				c.owner = nil
-				c.mu.Unlock()
-			}
-		}
-		for _, c := range cores {
-			c.mu.Lock()
-			if c.owner != nil && c.owner != tx.handle {
-				c.mu.Unlock()
-				release()
-				return false
-			}
-			c.owner = tx.handle
-			c.mu.Unlock()
-			locked++
-		}
-		for c, ver := range l.reads {
-			c.mu.Lock()
-			ok := c.ver == ver && (c.owner == nil || c.owner == tx.handle)
-			c.mu.Unlock()
-			if !ok {
-				release()
-				return false
-			}
-		}
-		if !tx.handle.toPrepared() {
-			release()
-			return false
-		}
-		wv := globalClock.Add(1)
-		for _, c := range cores {
-			c.mu.Lock()
-			c.val = l.writes[c]
-			c.ver = wv
-			c.owner = nil
-			c.mu.Unlock()
-		}
+	if !tx.publish(l, true) {
+		return false
 	}
 	tx.handle.setCommitted()
 	for _, h := range l.onCommit {
@@ -384,6 +543,92 @@ func (tx *Tx) commitGuarded(l *level) bool {
 		tx.thread.Stats.HandlerRuns++
 	}
 	return true
+}
+
+// commitOpen installs an open-nested child's writes immediately, like a
+// top-level commit but without touching the shared handle's lifecycle
+// (the parent remains Active) and without running handlers (they attach
+// to the parent instead). A parent violated mid-install still completes
+// the install — the attached abort handlers will compensate — and the
+// violation is observed at the parent's next check.
+func (o *Tx) commitOpen() bool {
+	l := o.cur
+	if l.parent != nil {
+		panic("stm: open commit with open nested level")
+	}
+	return o.publish(l, false)
+}
+
+// publish is the single lock-sort-validate-install sequence shared by
+// top-level and open-nested commits: acquire the write set's lockwords
+// in variable-ID order (deadlock freedom), validate the read set, for a
+// top-level commit (doPrepare) pass the point of no return, and install
+// every write at one fresh global-clock tick. On any failure all
+// acquired locks are released, nothing is installed, and for doPrepare
+// the handle is left un-Prepared so the caller rolls back. The sorted
+// write-set scratch buffer is recycled through the Thread.
+func (tx *Tx) publish(l *level, doPrepare bool) bool {
+	if l.writes.len() == 0 {
+		// Read-only fast path: every read was validated against the
+		// snapshot when it happened, so the transaction is serializable
+		// at readVersion. For a top-level commit only the violation
+		// race remains; an open-nested child has nothing to do.
+		return !doPrepare || tx.handle.toPrepared()
+	}
+	buf := tx.thread.sortedWrites(l)
+	for i, e := range buf {
+		if !e.c.tryLock(tx.handle) {
+			releaseLocks(buf[:i])
+			return false
+		}
+	}
+	if !l.reads.allCurrent(tx.handle) || (doPrepare && !tx.handle.toPrepared()) {
+		releaseLocks(buf)
+		return false
+	}
+	wv := globalClock.Add(1)
+	for _, e := range buf {
+		e.c.install(e.val, wv)
+	}
+	return true
+}
+
+// releaseLocks unlocks the given write-set prefix after a failed
+// publish, leaving versions unchanged.
+func releaseLocks(buf []writeEntry) {
+	for _, e := range buf {
+		e.c.unlock()
+	}
+}
+
+// writeBuf is the per-thread sorted write-set scratch; the pointer
+// receiver keeps sort.Sort from allocating an interface box.
+type writeBuf []writeEntry
+
+func (b *writeBuf) Len() int           { return len(*b) }
+func (b *writeBuf) Less(i, j int) bool { return (*b)[i].c.id < (*b)[j].c.id }
+func (b *writeBuf) Swap(i, j int)      { (*b)[i], (*b)[j] = (*b)[j], (*b)[i] }
+
+// sortedWrites copies l's write set into the thread's scratch buffer
+// sorted by variable ID. The buffer is reused across commits; small
+// sets use insertion sort to stay out of sort.Sort's interface calls.
+func (t *Thread) sortedWrites(l *level) []writeEntry {
+	buf := t.commitBuf[:0]
+	buf = append(buf, l.writes.inline[:l.writes.n]...)
+	for c, val := range l.writes.spill {
+		buf = append(buf, writeEntry{c, val})
+	}
+	t.commitBuf = buf
+	if len(buf) <= 16 {
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j].c.id < buf[j-1].c.id; j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
+	} else {
+		sort.Sort(&t.commitBuf)
+	}
+	return t.commitBuf
 }
 
 // rollback discards the transaction's buffered writes and runs its abort

@@ -1,7 +1,7 @@
 package stm
 
 import (
-	"sync"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -15,48 +15,146 @@ var globalClock atomic.Uint64
 // deadlock-free at commit.
 var globalVarID atomic.Uint64
 
-// varCore is the untyped heart of a transactional variable: a value, the
-// version of the commit that produced it, and a write-lock owner set
-// only while a committing transaction is installing into it.
-type varCore struct {
-	id    uint64
-	mu    sync.Mutex
-	val   any
-	ver   uint64
-	owner *Handle
+// Lockword layout (see DESIGN.md §4 "TL2 lockword"): a varCore's entire
+// concurrency-control state is one uint64 — the commit version in the
+// high 63 bits and a write-lock bit in bit 0 — so the unlocked fast
+// paths (Var.Get's sample, peek, commit-time read validation) are plain
+// atomic loads with no mutex and no CAS.
+//
+// Bit budget: versions are 63 bits wide. The global clock ticks once
+// per writing commit (plus once per SetCommitted), so overflow needs
+// 2^63 ≈ 9.2·10^18 commits — at an implausible 10^9 commits/second
+// that is ~292 years of continuous running; overflow is unreachable in
+// practice and the code does not attempt to handle wraparound.
+const (
+	lockBit      = uint64(1)
+	versionShift = 1
+	// maxVersion is the largest version the packed word can hold.
+	maxVersion = uint64(1)<<63 - 1
+)
+
+// packWord builds a lockword from a version and a lock flag.
+func packWord(ver uint64, locked bool) uint64 {
+	w := ver << versionShift
+	if locked {
+		w |= lockBit
+	}
+	return w
 }
 
-// sample returns a consistent (value, version) pair, spinning in virtual
-// time while another transaction is mid-install on this variable.
+// wordVersion and wordLocked unpack a lockword.
+func wordVersion(w uint64) uint64 { return w >> versionShift }
+func wordLocked(w uint64) bool    { return w&lockBit != 0 }
+
+// varCore is the untyped heart of a transactional variable: a boxed
+// committed value, the packed versioned lockword of the commit that
+// produced it, and an owner side-slot identifying the committing
+// transaction while — and only while — the lock bit is set.
+//
+// Acquire/release protocol: a committer CASes the word from
+// (ver, unlocked) to (ver, locked), then stores its handle into owner;
+// install stores a fresh value box, clears owner, and releases by
+// storing (newVer, unlocked) in one atomic store. While the lock bit is
+// set only the holder mutates the word, so the holder may load+store it
+// without CAS. The owner lives in a side-slot rather than in the word
+// because a *Handle does not fit alongside a 63-bit version; readers
+// that observe the lock bit before the owner store see a nil owner and
+// conservatively treat the variable as locked by another transaction.
+type varCore struct {
+	id   uint64
+	word atomic.Uint64
+	// val points to the committed value box. Boxes are immutable once
+	// published; install replaces the pointer, never the pointee, so a
+	// reader holding a stale box still sees a coherent value.
+	val atomic.Pointer[any]
+	// owner is valid only while the lock bit is set in word.
+	owner atomic.Pointer[Handle]
+}
+
+func newVarCore(initial any) *varCore {
+	c := &varCore{id: globalVarID.Add(1)}
+	box := new(any)
+	*box = initial
+	c.val.Store(box)
+	return c
+}
+
+// sample returns a consistent (value, version) pair without taking any
+// lock: load the word, load the value box, and re-load the word. If the
+// two word loads agree and the word is unlocked, no install completed in
+// between (versions are monotonic, so the word cannot ABA), hence the
+// box belongs to exactly that version. While another transaction is
+// mid-install the reader spins in virtual time and eventually bails.
 func (c *varCore) sample(tx *Tx) (any, uint64) {
 	for spin := 0; ; spin++ {
-		c.mu.Lock()
-		if c.owner != nil && c.owner != tx.handle {
-			c.mu.Unlock()
-			tx.check()
-			if spin >= 64 {
-				// The owner may itself be stalled behind us in some
-				// larger scheme; give up the attempt rather than spin
-				// forever.
-				tx.bail(sigRetry, "variable locked by committer")
+		w := c.word.Load()
+		if !wordLocked(w) {
+			val := *c.val.Load()
+			if c.word.Load() == w {
+				return val, wordVersion(w)
 			}
-			tx.thread.Clock.Wait(4)
+			// An install completed between the two word loads; the box
+			// may not match the sampled version. Re-sample.
 			continue
 		}
-		v, ver := c.val, c.ver
-		c.mu.Unlock()
-		return v, ver
+		if c.owner.Load() == tx.handle {
+			// Locked by this transaction's own commit machinery; the
+			// current box and version bits are still ours to read.
+			return *c.val.Load(), wordVersion(w)
+		}
+		tx.check()
+		if spin >= 64 {
+			// The owner may itself be stalled behind us in some
+			// larger scheme; give up the attempt rather than spin
+			// forever.
+			tx.bail(sigRetry, "variable locked by committer")
+		}
+		tx.thread.Clock.Wait(4)
 	}
 }
 
 // peek reports the current version and whether the variable is
-// write-locked by a transaction other than self.
+// write-locked by a transaction other than self. On an unlocked
+// variable this is a single atomic load.
 func (c *varCore) peek(self *Handle) (ver uint64, lockedByOther bool) {
-	c.mu.Lock()
-	ver = c.ver
-	lockedByOther = c.owner != nil && c.owner != self
-	c.mu.Unlock()
-	return
+	w := c.word.Load()
+	if wordLocked(w) && c.owner.Load() != self {
+		return wordVersion(w), true
+	}
+	return wordVersion(w), false
+}
+
+// tryLock attempts to acquire the write lock for h. It fails only if
+// another transaction holds the lock; a CAS lost to a concurrent
+// version install retries against the new word.
+func (c *varCore) tryLock(h *Handle) bool {
+	for {
+		w := c.word.Load()
+		if wordLocked(w) {
+			return c.owner.Load() == h
+		}
+		if c.word.CompareAndSwap(w, w|lockBit) {
+			c.owner.Store(h)
+			return true
+		}
+	}
+}
+
+// unlock releases the write lock without changing the version (the
+// failed-commit path). Holder-only: no CAS needed.
+func (c *varCore) unlock() {
+	c.owner.Store(nil)
+	c.word.Store(c.word.Load() &^ lockBit)
+}
+
+// install publishes a new committed value at version wv and releases
+// the lock in the same atomic store. Holder-only.
+func (c *varCore) install(val any, wv uint64) {
+	box := new(any)
+	*box = val
+	c.val.Store(box)
+	c.owner.Store(nil)
+	c.word.Store(packWord(wv, false))
 }
 
 // Var is a transactional variable holding a value of type T. All reads
@@ -72,7 +170,7 @@ type Var[T any] struct {
 // NewVar creates a transactional variable with an initial value. The
 // initial value is published at version 0, visible to every transaction.
 func NewVar[T any](initial T) *Var[T] {
-	return &Var[T]{core: &varCore{id: globalVarID.Add(1), val: initial}}
+	return &Var[T]{core: newVarCore(initial)}
 }
 
 // Get returns the variable's value as seen by tx: the transaction's own
@@ -83,7 +181,7 @@ func (v *Var[T]) Get(tx *Tx) T {
 	tx.check()
 	c := v.core
 	for l := tx.cur; l != nil; l = l.parent {
-		if val, ok := l.writes[c]; ok {
+		if val, ok := l.writes.get(c); ok {
 			tx.tick(CostRead)
 			return val.(T)
 		}
@@ -92,7 +190,7 @@ func (v *Var[T]) Get(tx *Tx) T {
 	if ver > tx.readVersion && !tx.extend() {
 		tx.bail(sigRetry, "stale read")
 	}
-	tx.cur.reads[c] = ver
+	tx.cur.reads.put(c, ver)
 	tx.tick(CostRead)
 	return val.(T)
 }
@@ -102,28 +200,36 @@ func (v *Var[T]) Get(tx *Tx) T {
 // transaction commits.
 func (v *Var[T]) Set(tx *Tx, val T) {
 	tx.check()
-	tx.cur.writes[v.core] = val
+	tx.cur.writes.put(v.core, val)
 	tx.tick(CostWrite)
 }
 
 // GetCommitted returns the latest committed value without any
 // transactional bookkeeping. Intended for initialization and for
 // inspecting results after all transactions have finished; using it
-// concurrently with committers yields an atomic but unordered snapshot.
+// concurrently with committers yields an atomic but unordered snapshot
+// (value boxes are immutable, so even a mid-install reader sees a
+// coherent old-or-new value).
 func (v *Var[T]) GetCommitted() T {
-	c := v.core
-	c.mu.Lock()
-	val := c.val
-	c.mu.Unlock()
-	return val.(T)
+	return (*v.core.val.Load()).(T)
 }
 
 // SetCommitted installs a value outside any transaction, as if by an
-// instantly committing transaction. Intended for single-threaded setup.
+// instantly committing transaction: it acquires the lockword, installs
+// at a fresh clock tick, and releases. Intended for single-threaded
+// setup; it is nonetheless safe (if unordered) against concurrent
+// committers.
 func (v *Var[T]) SetCommitted(val T) {
 	c := v.core
-	c.mu.Lock()
-	c.val = val
-	c.ver = globalClock.Add(1)
-	c.mu.Unlock()
+	for {
+		w := c.word.Load()
+		if wordLocked(w) {
+			runtime.Gosched()
+			continue
+		}
+		if c.word.CompareAndSwap(w, w|lockBit) {
+			break
+		}
+	}
+	c.install(val, globalClock.Add(1))
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the STM microbenchmarks and the figure/real
+# benches and write the machine-readable perf trajectory file
+# BENCH_stm.json (via cmd/benchjson). Commit the refreshed file with
+# perf-relevant PRs; git history of BENCH_stm.json is the trajectory.
+#
+# Not part of the default verify.sh gate (benchmarks are minutes, the
+# gate is seconds); run it as `./verify.sh bench` or directly.
+#
+# Environment knobs:
+#   BENCH_TIME   go test -benchtime value   (default 300ms)
+#   BENCH_COUNT  go test -count value       (default 1)
+#   BENCH_OUT    output file                (default BENCH_stm.json)
+#   BENCH_NOTE   free-form note embedded in the report (e.g. baseline
+#                numbers the run should be compared against)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+time=${BENCH_TIME:-300ms}
+count=${BENCH_COUNT:-1}
+out=${BENCH_OUT:-BENCH_stm.json}
+note=${BENCH_NOTE:-}
+
+{
+  # STM hot-path microbenchmarks (allocation-reporting).
+  go test -run '^$' -bench 'BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" ./internal/stm
+  # Wall-clock operation benches and simulator figure regenerations.
+  go test -run '^$' -bench 'BenchmarkReal|BenchmarkFigure' -benchmem -benchtime "$time" -count "$count" .
+} | tee /dev/stderr | go run ./cmd/benchjson -note "$note" > "$out"
+
+echo "bench: wrote $out" >&2

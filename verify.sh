@@ -6,8 +6,13 @@
 #
 # Tier-1 (see ROADMAP.md) is the subset `go build ./... && go test ./...`;
 # this script is the superset CI should run.
+#
+# Non-default mode: `./verify.sh bench` additionally runs the tracked
+# benchmark suite (scripts/bench.sh) and refreshes BENCH_stm.json, the
+# machine-readable perf trajectory.
 set -euo pipefail
 cd "$(dirname "$0")"
+mode=${1:-gate}
 
 echo "== go build ./..."
 go build ./...
@@ -23,5 +28,10 @@ go run ./cmd/stmlint ./...
 
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
+
+if [[ "$mode" == "bench" ]]; then
+  echo "== bench suite (scripts/bench.sh)"
+  ./scripts/bench.sh
+fi
 
 echo "verify: OK"
