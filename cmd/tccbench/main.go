@@ -17,26 +17,38 @@
 //	tccbench -ops 8192        # more work per run
 //	tccbench -cpus 1,2,4,8    # custom sweep
 //	tccbench -stats           # append commit/abort/violation breakdowns
+//	tccbench -profile         # append TAPE-style conflict heatmaps
+//	tccbench -stats-json F    # write speedups+stats+profiles as JSON to F
+//	tccbench -trace F         # write a Chrome trace_event file to F
+//
+// A -trace file loads in Perfetto / chrome://tracing: one lane per
+// virtual CPU, committed transactions as spans, conflicts and backoffs
+// as annotated slices.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"tcc/internal/harness"
 	"tcc/internal/jbb"
+	"tcc/internal/obs"
 )
 
 func main() {
 	var (
-		figFlag   = flag.Int("fig", 0, "figure to run (1-4); 0 runs all")
-		opsFlag   = flag.Int("ops", 4096, "total operations per run (divided among CPUs)")
-		cpusFlag  = flag.String("cpus", "1,2,4,8,16,32", "comma-separated CPU counts")
-		seedFlag  = flag.Int64("seed", 7, "deterministic schedule seed")
-		statsFlag = flag.Bool("stats", false, "print transaction statistics per run")
+		figFlag     = flag.Int("fig", 0, "figure to run (1-4); 0 runs all")
+		opsFlag     = flag.Int("ops", 4096, "total operations per run (divided among CPUs)")
+		cpusFlag    = flag.String("cpus", "1,2,4,8,16,32", "comma-separated CPU counts")
+		seedFlag    = flag.Int64("seed", 7, "deterministic schedule seed")
+		statsFlag   = flag.Bool("stats", false, "print transaction statistics per run")
+		profileFlag = flag.Bool("profile", false, "print per-variable conflict heatmaps")
+		jsonFlag    = flag.String("stats-json", "", "write machine-readable results to `file` ('-' for stdout)")
+		traceFlag   = flag.String("trace", "", "write Chrome trace_event JSON to `file` ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -46,11 +58,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Profiles ride inside the JSON export, so -stats-json implies the
+	// profiling pass even without -profile on the terminal.
+	opts := harness.FigureOptions{Profile: *profileFlag || *jsonFlag != ""}
+
+	var rec *obs.Recorder
+	if *traceFlag != "" {
+		rec = obs.NewRecorder(obs.DefaultRecorderCap)
+		obs.SetTracer(rec)
+		defer obs.SetTracer(nil)
+	}
+
+	var figures []harness.Figure
 	run := func(n int) {
-		fig := buildFigure(n, cpus, *opsFlag, *seedFlag)
+		fig := buildFigure(n, cpus, *opsFlag, *seedFlag, opts)
+		figures = append(figures, fig)
 		fmt.Print(fig)
 		if *statsFlag {
 			fmt.Print(fig.StatsString())
+		}
+		if *profileFlag {
+			fmt.Print(fig.ProfileString(5))
 		}
 		fmt.Println()
 	}
@@ -60,25 +88,67 @@ func main() {
 			os.Exit(2)
 		}
 		run(*figFlag)
-		return
+	} else {
+		for n := 1; n <= 4; n++ {
+			run(n)
+		}
 	}
-	for n := 1; n <= 4; n++ {
-		run(n)
+
+	if *jsonFlag != "" {
+		rep := harness.BuildReport(noteFor(*figFlag, *opsFlag, *seedFlag), figures...)
+		if err := writeTo(*jsonFlag, rep.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tccbench:", err)
+			os.Exit(1)
+		}
+	}
+	if rec != nil {
+		obs.SetTracer(nil)
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "tccbench: trace ring overflowed, oldest %d events dropped\n", n)
+		}
+		if err := writeTo(*traceFlag, rec.WriteTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "tccbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func buildFigure(n int, cpus []int, ops int, seed int64) harness.Figure {
+// writeTo streams write to path, with "-" meaning stdout.
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func noteFor(fig, ops int, seed int64) string {
+	which := "figures 1-4"
+	if fig != 0 {
+		which = fmt.Sprintf("figure %d", fig)
+	}
+	return fmt.Sprintf("tccbench %s, ops=%d, seed=%d", which, ops, seed)
+}
+
+func buildFigure(n int, cpus []int, ops int, seed int64, opts harness.FigureOptions) harness.Figure {
 	p := harness.DefaultMapParams()
 	p.TotalOps = ops
 	switch n {
 	case 1:
-		return harness.RunFigure("TestMap (Figure 1)", harness.TestMapConfigs(p), cpus, ops, seed)
+		return harness.RunFigureOpts("TestMap (Figure 1)", harness.TestMapConfigs(p), cpus, ops, seed, opts)
 	case 2:
-		return harness.RunFigure("TestSortedMap (Figure 2)", harness.TestSortedMapConfigs(p), cpus, ops, seed)
+		return harness.RunFigureOpts("TestSortedMap (Figure 2)", harness.TestSortedMapConfigs(p), cpus, ops, seed, opts)
 	case 3:
-		return harness.RunFigure("TestCompound (Figure 3)", harness.TestCompoundConfigs(p), cpus, ops, seed)
+		return harness.RunFigureOpts("TestCompound (Figure 3)", harness.TestCompoundConfigs(p), cpus, ops, seed, opts)
 	default:
-		return jbb.RunFigure4(cpus, ops, jbb.DefaultParams(), seed)
+		return jbb.RunFigure4Opts(cpus, ops, jbb.DefaultParams(), seed, opts)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Command tracecheck validates tccbench's exported observability
+// artifacts, so verify.sh can gate on them without a human loading the
+// files into a viewer:
+//
+//	tracecheck -stats run.json     # harness.Report: decodes, has figures,
+//	                               # and ≥1 profiled run with a non-empty
+//	                               # conflict heatmap
+//	tracecheck -trace trace.json   # Chrome trace_event JSON: decodes, has
+//	                               # metadata plus ≥1 event, well-formed
+//	                               # phases
+//
+// Both flags may be given at once. Exit status 0 means all supplied
+// files validate; any failure prints a reason and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tcc/internal/harness"
+)
+
+func main() {
+	var (
+		statsFlag = flag.String("stats", "", "validate a -stats-json report `file`")
+		traceFlag = flag.String("trace", "", "validate a -trace Chrome trace `file`")
+	)
+	flag.Parse()
+	if *statsFlag == "" && *traceFlag == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: at least one of -stats or -trace is required")
+		os.Exit(2)
+	}
+	check := func(path string, fn func(io.Reader) error) {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if *statsFlag != "" {
+		check(*statsFlag, checkStats)
+	}
+	if *traceFlag != "" {
+		check(*traceFlag, checkTrace)
+	}
+	fmt.Println("tracecheck: ok")
+}
+
+// checkStats validates a harness.Report: it must decode, contain at
+// least one figure, and — since verify.sh runs tccbench under
+// contention — at least one profiled run whose heatmap attributes
+// rollbacks to a named hotspot.
+func checkStats(r io.Reader) error {
+	var rep harness.Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return fmt.Errorf("not a harness report: %w", err)
+	}
+	if len(rep.Figures) == 0 {
+		return fmt.Errorf("report has no figures")
+	}
+	profiled, hotspots := 0, 0
+	for _, f := range rep.Figures {
+		if len(f.Series) == 0 {
+			return fmt.Errorf("figure %q has no series", f.Title)
+		}
+		for _, s := range f.Series {
+			if len(s.Runs) != len(f.CPUs) {
+				return fmt.Errorf("figure %q series %q: %d runs for %d CPU counts",
+					f.Title, s.Name, len(s.Runs), len(f.CPUs))
+			}
+			for _, run := range s.Runs {
+				if run.Profile == nil {
+					continue
+				}
+				profiled++
+				hotspots += len(run.Profile.Hotspots)
+			}
+		}
+	}
+	if profiled == 0 {
+		return fmt.Errorf("report has no profiled runs (was tccbench run with -profile or -stats-json?)")
+	}
+	if hotspots == 0 {
+		return fmt.Errorf("no run attributed any conflicts: heatmap is empty under contention")
+	}
+	return nil
+}
+
+// traceFile is the subset of the Chrome trace_event format tracecheck
+// validates.
+type traceFile struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   *int64 `json:"ts"`
+		Pid  *int64 `json:"pid"`
+		Tid  *int64 `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// checkTrace validates Chrome trace_event JSON: decodable, has the
+// process metadata a viewer needs, and at least one transaction event
+// with the required fields.
+func checkTrace(r io.Reader) error {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return fmt.Errorf("not trace_event JSON: %w", err)
+	}
+	meta, events := 0, 0
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return fmt.Errorf("event %d missing name/ph", i)
+		}
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("event %d (%s) missing ts/pid/tid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X", "i", "I":
+			events++
+		default:
+			return fmt.Errorf("event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+	}
+	if meta == 0 {
+		return fmt.Errorf("trace has no metadata events (process/thread names)")
+	}
+	if events == 0 {
+		return fmt.Errorf("trace has no transaction events")
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tcc/internal/harness"
+	"tcc/internal/obs"
+	"tcc/internal/stm"
+)
+
+// contendedArtifacts produces a real report and trace from a contended
+// run, the same artifacts verify.sh feeds tracecheck.
+func contendedArtifacts(t *testing.T) (stats, trace []byte) {
+	t.Helper()
+	rec := obs.NewRecorder(obs.DefaultRecorderCap)
+	obs.SetTracer(rec)
+	defer obs.SetTracer(nil)
+
+	counter := stm.NewVar(0).SetLabel("check.counter")
+	cfg := harness.Config{
+		Name: "contended",
+		Setup: func(pl harness.Platform) func(w *harness.Worker) {
+			return func(w *harness.Worker) {
+				_ = w.Thread.Atomic(func(tx *stm.Tx) error {
+					w.Compute(32)
+					counter.Set(tx, counter.Get(tx)+1)
+					w.Compute(32)
+					return nil
+				})
+			}
+		},
+	}
+	fig := harness.RunFigureOpts("check", []harness.Config{cfg}, []int{4}, 256, 3, harness.FigureOptions{Profile: true})
+	obs.SetTracer(nil)
+
+	var sb, tb bytes.Buffer
+	if err := harness.BuildReport("check", fig).WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.Bytes(), tb.Bytes()
+}
+
+func TestCheckRealArtifacts(t *testing.T) {
+	stats, trace := contendedArtifacts(t)
+	if err := checkStats(bytes.NewReader(stats)); err != nil {
+		t.Errorf("checkStats rejected a real report: %v", err)
+	}
+	if err := checkTrace(bytes.NewReader(trace)); err != nil {
+		t.Errorf("checkTrace rejected a real trace: %v", err)
+	}
+}
+
+func TestCheckStatsRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage", "not json", "not a harness report"},
+		{"empty", `{}`, "no figures"},
+		{"no series", `{"figures":[{"title":"f","cpus":[1],"series":[]}]}`, "no series"},
+		{"run mismatch", `{"figures":[{"title":"f","cpus":[1,2],"series":[{"name":"s","runs":[{"cpus":1}]}]}]}`, "runs for"},
+		{"unprofiled", `{"figures":[{"title":"f","cpus":[1],"series":[{"name":"s","runs":[{"cpus":1}]}]}]}`, "no profiled runs"},
+		{"empty heatmap", `{"figures":[{"title":"f","cpus":[1],"series":[{"name":"s","runs":[{"cpus":1,"profile":{"begins":5}}]}]}]}`, "heatmap is empty"},
+	}
+	for _, c := range cases {
+		err := checkStats(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCheckTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"garbage", "not json", "not trace_event JSON"},
+		{"empty", `{"traceEvents":[]}`, "no metadata"},
+		{"meta only", `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0}]}`, "no transaction events"},
+		{"missing fields", `{"traceEvents":[{"name":"tx","ph":"X"}]}`, "missing ts/pid/tid"},
+		{"bad phase", `{"traceEvents":[{"name":"tx","ph":"B","ts":0,"pid":1,"tid":0}]}`, "unsupported phase"},
+	}
+	for _, c := range cases {
+		err := checkTrace(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func Rules() []*Rule {
 		ruleNondeterminism,
 		ruleHandlerTxn,
 		ruleUncheckedAtomic,
+		ruleTraceInCommit,
 	}
 }
 

@@ -121,6 +121,8 @@ func TestNondetFixture(t *testing.T)       { runFixture(t, "nondet") }
 func TestHandlerTxnFixture(t *testing.T)   { runFixture(t, "handlertxn") }
 func TestUncheckedFixture(t *testing.T)    { runFixture(t, "unchecked") }
 
+func TestTraceInCommitFixture(t *testing.T) { runFixture(t, "traceincommit") }
+
 // TestSuppress proves //stmlint:ignore silences exactly the named
 // rule: three suppressed violations yield nothing, and a directive for
 // the wrong rule leaves its diagnostic standing.
@@ -130,7 +132,7 @@ func TestSuppress(t *testing.T) { runFixture(t, "suppress") }
 // each registered rule must fire somewhere in testdata.
 func TestEveryRuleHasFixture(t *testing.T) {
 	fired := make(map[string]bool)
-	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked"} {
+	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit"} {
 		l, pkg := loadFixture(t, name)
 		for _, d := range analysis.Check(l.Fset, pkg) {
 			fired[d.Rule] = true

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// trace-in-commit: observability work inside the commit lock-hold
+// window. The STM promises that tracing is pay-as-you-go: event structs
+// are built and Tracer.Trace is invoked only outside the global commit
+// guard (commitMu), because a sink is arbitrary user code and event
+// assembly allocates — either one inside the guard would serialize every
+// handler-bearing commit in the process behind it. Conflict attribution
+// inside the guard is limited to plain field stores (stm's noteConflict);
+// emission happens after the lock is released. This rule makes that
+// boundary machine-checked: between commitMu.Lock() and
+// commitMu.Unlock(), no statement — nor any same-package function called
+// from one — may call into the obs package or construct an obs value.
+var ruleTraceInCommit = &Rule{
+	ID:  "trace-in-commit",
+	Doc: "observability emission (obs call or obs value construction) inside the commitMu lock-hold window",
+	Run: runTraceInCommit,
+}
+
+// isObsPath reports whether an import path names the observability
+// package, by suffix for the same reason isSTMPath matches by suffix.
+func isObsPath(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+func runTraceInCommit(p *Pass) {
+	info := p.Pkg.Info
+
+	// Map declared functions to their bodies so in-window calls can be
+	// followed one package deep.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	p.forEachFile(func(f *ast.File) {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	})
+
+	// guarded collects same-package functions invoked with the guard
+	// held; their bodies run inside the window even though the Lock call
+	// is not lexically visible in them.
+	guarded := make(map[*types.Func]bool)
+
+	p.forEachFile(func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			held := false
+			for _, stmt := range block.List {
+				if !held && stmtLocksCommitMu(stmt, "Lock") {
+					held = true
+				}
+				if held {
+					p.reportObsRefs(stmt, "")
+					collectPackageCallees(info, stmt, guarded)
+					if stmtLocksCommitMu(stmt, "Unlock") {
+						held = false
+					}
+				}
+			}
+			return true
+		})
+	})
+
+	// Follow the guarded functions transitively within the package.
+	visited := make(map[*types.Func]bool)
+	queue := make([]*types.Func, 0, len(guarded))
+	for fn := range guarded {
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		p.reportObsRefs(fd.Body, fn.Name())
+		more := make(map[*types.Func]bool)
+		collectPackageCallees(info, fd.Body, more)
+		for callee := range more {
+			if !visited[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+}
+
+// stmtLocksCommitMu reports whether stmt directly performs
+// commitMu.<method>(). Deferred unlocks and function literals do not
+// count: a defer runs at function return, and a closure body runs
+// whenever it is invoked — neither changes whether the guard is held at
+// the statements that follow.
+func stmtLocksCommitMu(stmt ast.Stmt, method string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == method {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "commitMu" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportObsRefs flags calls into the obs package (including interface
+// methods like Tracer.Trace, whose declaring package is obs) and
+// composite literals of obs types under n. via names the guarded
+// function the reference was reached through, for call-chain context;
+// it is empty when the reference is lexically inside the window.
+func (p *Pass) reportObsRefs(n ast.Node, via string) {
+	info := p.Pkg.Info
+	suffix := ""
+	if via != "" {
+		suffix = " (in " + via + ", which runs with the commit guard held)"
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, c)
+			if fn != nil && fn.Pkg() != nil && isObsPath(fn.Pkg().Path()) {
+				p.Reportf(c.Pos(), "call to obs.%s inside the commit lock-hold window%s; emit after commitMu.Unlock — a tracer sink is user code and must not run under the global commit guard", fn.Name(), suffix)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[c]; ok {
+				if named, ok := tv.Type.(*types.Named); ok {
+					obj := named.Origin().Obj()
+					if obj.Pkg() != nil && isObsPath(obj.Pkg().Path()) {
+						p.Reportf(c.Pos(), "constructing obs.%s inside the commit lock-hold window%s; event assembly allocates and belongs after commitMu.Unlock", obj.Name(), suffix)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectPackageCallees records every function or method of the package
+// under analysis that n calls.
+func collectPackageCallees(info *types.Info, n ast.Node, out map[*types.Func]bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil {
+				out[fn] = true
+			}
+		}
+		return true
+	})
+}

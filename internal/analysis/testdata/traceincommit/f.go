@@ -1,0 +1,95 @@
+// Package traceincommit exercises the trace-in-commit rule: between
+// commitMu.Lock and commitMu.Unlock no code may call into the obs
+// package or construct obs values — emission belongs after the guard is
+// released.
+package traceincommit
+
+import (
+	"sync"
+
+	"tcc/internal/obs"
+)
+
+var commitMu sync.Mutex
+
+// otherMu is a non-guard mutex; holding it does not restrict emission.
+var otherMu sync.Mutex
+
+// emitInWindow emits directly inside the window: both the event
+// construction and the sink call are flagged.
+func emitInWindow(tr obs.Tracer) {
+	commitMu.Lock()
+	e := obs.Event{Kind: obs.KindTxCommit} // want trace-in-commit
+	tr.Trace(e)                            // want trace-in-commit
+	commitMu.Unlock()
+	tr.Trace(e) // emission after Unlock is the sanctioned pattern
+}
+
+// conditionalWindow mirrors the STM's real shape: the guard is taken
+// under a condition, so the window opens at the if statement.
+func conditionalWindow(tr obs.Tracer, guarded bool) {
+	if guarded {
+		commitMu.Lock()
+	}
+	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
+	if guarded {
+		commitMu.Unlock()
+	}
+	tr.Trace(obs.Event{})
+}
+
+// lockAndCall reaches emission through a same-package call chain; the
+// diagnostics land on the emitting lines of the callees.
+func lockAndCall() {
+	commitMu.Lock()
+	helper()
+	commitMu.Unlock()
+}
+
+func helper() {
+	deeper()
+}
+
+func deeper() {
+	obs.SetTracer(nil) // want trace-in-commit
+}
+
+// deferredUnlock holds the guard until the function returns, so the
+// trailing emission is still inside the window.
+func deferredUnlock(tr obs.Tracer) {
+	commitMu.Lock()
+	defer commitMu.Unlock()
+	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
+}
+
+// closureDoesNotOpen: a commitMu window inside a function literal does
+// not leak into the enclosing function.
+func closureDoesNotOpen(tr obs.Tracer) {
+	f := func() {
+		commitMu.Lock()
+		commitMu.Unlock()
+	}
+	f()
+	tr.Trace(obs.Event{})
+}
+
+// otherMutexIsFine: emission under an unrelated lock is allowed.
+func otherMutexIsFine(tr obs.Tracer) {
+	otherMu.Lock()
+	tr.Trace(obs.Event{})
+	otherMu.Unlock()
+}
+
+// fieldStoresAreFine mirrors stm's noteConflict: recording attribution
+// with plain stores inside the window is the sanctioned mechanism.
+type conflictNote struct {
+	where string
+	other uint64
+}
+
+func fieldStoresAreFine(n *conflictNote) {
+	commitMu.Lock()
+	n.where = "var#1"
+	n.other = 42
+	commitMu.Unlock()
+}

@@ -175,6 +175,14 @@ func (tm *TransactionalMap[K, V]) Name() string { return tm.name }
 // SetOpCost overrides the abstract cycle cost charged per operation.
 func (tm *TransactionalMap[K, V]) SetOpCost(c uint64) { tm.opCost = c }
 
+// SetKeyedConflicts toggles per-key detail in key-conflict violation
+// reasons (semlock.KeyTable.SetKeyedReasons): conflict profiles then
+// attribute semantic aborts to individual keys, at the price of one
+// formatting allocation per violated transaction. Call during setup.
+func (tm *TransactionalMap[K, V]) SetKeyedConflicts(on bool) {
+	tm.key2lockers.SetKeyedReasons(on)
+}
+
 // SetIsEmptyViaSize toggles the §5.1 ablation: when true, IsEmpty takes
 // the size lock (conflicting with any size change) instead of the
 // dedicated empty-transition lock.

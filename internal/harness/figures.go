@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"tcc/internal/obs"
 	"tcc/internal/stm"
 )
 
@@ -21,6 +22,9 @@ type Series struct {
 	// Stats maps CPU count to the aggregate transaction statistics of
 	// that run, for the conflict analyses of §6.3.
 	Stats map[int]stm.Stats
+	// Profiles maps CPU count to the run's conflict profile. Nil unless
+	// the figure was produced with FigureOptions.Profile.
+	Profiles map[int]*obs.ProfileReport
 }
 
 // Figure is a full CPU sweep across configurations.
@@ -30,23 +34,55 @@ type Figure struct {
 	Series []Series
 }
 
+// FigureOptions selects optional instrumentation for a figure run.
+type FigureOptions struct {
+	// Profile attaches a fresh obs.Profile to every measured run and
+	// stores its report in Series.Profiles, keyed by CPU count. The
+	// profile tracer is installed after Config.Setup returns, so
+	// prepopulation transactions are not attributed.
+	Profile bool
+}
+
 // RunFigure sweeps every configuration across the CPU counts on the
 // deterministic simulator, dividing totalOps of work evenly among
 // workers, and normalizes to the first configuration's 1-CPU run.
 func RunFigure(title string, configs []Config, cpus []int, totalOps int, seed int64) Figure {
+	return RunFigureOpts(title, configs, cpus, totalOps, seed, FigureOptions{})
+}
+
+// RunFigureOpts is RunFigure with explicit instrumentation options.
+func RunFigureOpts(title string, configs []Config, cpus []int, totalOps int, seed int64, opts FigureOptions) Figure {
 	fig := Figure{Title: title, CPUs: cpus}
 	var baseline float64
 	for ci, cfg := range configs {
 		s := Series{Name: cfg.Name, Speedup: map[int]float64{}, Stats: map[int]stm.Stats{}}
+		if opts.Profile {
+			s.Profiles = map[int]*obs.ProfileReport{}
+		}
 		for _, n := range cpus {
 			pl := &SimPlatform{Seed: seed + int64(ci)}
 			exec := cfg.Setup(pl)
+			var prof *obs.Profile
+			var prev obs.Tracer
+			if opts.Profile {
+				// Tee onto whatever sink the caller already installed
+				// (e.g. tccbench's trace recorder); restored right after
+				// the measured run so the next run's setup transactions
+				// stay out of this profile.
+				prev = obs.Active()
+				prof = obs.NewProfile()
+				obs.SetTracer(obs.Tee(prev, prof))
+			}
 			per := totalOps / n
 			res := pl.Run(n, func(w *Worker) {
 				for i := 0; i < per; i++ {
 					exec(w)
 				}
 			})
+			if prof != nil {
+				obs.SetTracer(prev)
+				s.Profiles[n] = prof.Report()
+			}
 			if ci == 0 && n == cpus[0] {
 				baseline = res.Elapsed
 			}

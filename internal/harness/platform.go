@@ -81,6 +81,7 @@ func (p *SimPlatform) Run(workers int, body func(w *Worker)) Result {
 			Thread: stm.NewThread(cpu, p.Seed<<8|int64(cpu.ID())),
 			RNG:    rand.New(rand.NewSource(p.Seed<<16 | int64(cpu.ID()+1))),
 		}
+		w.Thread.TraceID = cpu.ID()
 		body(w)
 		mu.Lock()
 		agg.Add(w.Thread.Stats)
@@ -122,6 +123,7 @@ func (p *RealPlatform) Run(workers int, body func(w *Worker)) Result {
 				Thread: stm.NewThread(&stm.RealClock{}, p.Seed<<8|int64(i)),
 				RNG:    rand.New(rand.NewSource(p.Seed<<16 | int64(i+1))),
 			}
+			w.Thread.TraceID = i
 			body(w)
 			mu.Lock()
 			agg.Add(w.Thread.Stats)

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tcc/internal/obs"
+)
+
+// hotMapParams is a deliberately contended TestMap configuration: a tiny
+// key space, a write-heavy mix so nearly every transaction updates the
+// map's size field, and little surrounding computation so transactions
+// overlap constantly.
+func hotMapParams() MapBenchParams {
+	return MapBenchParams{
+		TotalOps:    2048,
+		Compute:     64,
+		KeySpace:    32,
+		Prepopulate: 16,
+		ReadPct:     10,
+		PutPct:      45,
+		RangeSpan:   4,
+	}
+}
+
+// TestProfileAttributesSizeVar reproduces the paper's §6.3 finding with
+// the conflict heatmap instead of TAPE: under a contended TestMap run,
+// the shared HashMap size counter — not the per-bucket chains — is the
+// dominant source of rolled-back work. The run is deterministic (sim
+// platform, fixed seed), so the ≥80% attribution bound is stable.
+func TestProfileAttributesSizeVar(t *testing.T) {
+	p := hotMapParams()
+	// Configuration index 1 is "Atomos HashMap": the stmcol.HashMap
+	// accessed directly inside the transaction, the shape whose size
+	// counter the paper calls out.
+	cfg := TestMapConfigs(p)[1]
+	fig := RunFigureOpts("hot TestMap", []Config{cfg}, []int{8}, p.TotalOps, 1, FigureOptions{Profile: true})
+
+	prof := fig.Series[0].Profiles[8]
+	if prof == nil {
+		t.Fatal("no profile captured")
+	}
+	if prof.Aborts == 0 {
+		t.Fatal("contended run produced no aborts; the workload is not exercising conflicts")
+	}
+	share := prof.HotspotShare("HashMap.size")
+	if share < 0.8 {
+		t.Fatalf("HashMap.size caused %.0f%% of attributed rollbacks, want >= 80%%\nheatmap:\n%s",
+			share*100, prof.Format(10))
+	}
+
+	// The rendered heatmap should lead with the same hotspot.
+	if got := fig.ProfileString(3); !bytes.Contains([]byte(got), []byte("HashMap.size")) {
+		t.Fatalf("ProfileString missing HashMap.size:\n%s", got)
+	}
+}
+
+// TestProfileRunsAreDeterministic pins that two identical profiled
+// sweeps agree event-for-event — the property that makes profile
+// assertions (and the golden trace test in cmd/tccbench) trustworthy.
+func TestProfileRunsAreDeterministic(t *testing.T) {
+	p := hotMapParams()
+	run := func() *obs.ProfileReport {
+		cfg := TestMapConfigs(p)[1]
+		fig := RunFigureOpts("det", []Config{cfg}, []int{4}, p.TotalOps, 7, FigureOptions{Profile: true})
+		return fig.Series[0].Profiles[4]
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("profiles differ across identical runs:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestBuildReportRoundTrip checks the -stats-json export shape: the
+// report marshals, decodes, and carries the profile through.
+func TestBuildReportRoundTrip(t *testing.T) {
+	p := hotMapParams()
+	cfg := TestMapConfigs(p)[1]
+	fig := RunFigureOpts("export", []Config{cfg}, []int{2, 4}, p.TotalOps, 3, FigureOptions{Profile: true})
+	rep := BuildReport("test run", fig)
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Note != "test run" || len(back.Figures) != 1 {
+		t.Fatalf("report shape wrong: %+v", back)
+	}
+	f := back.Figures[0]
+	if len(f.Series) != 1 || len(f.Series[0].Runs) != 2 {
+		t.Fatalf("series shape wrong: %+v", f)
+	}
+	for _, r := range f.Series[0].Runs {
+		if r.Profile == nil {
+			t.Fatalf("run at %d CPUs lost its profile", r.CPUs)
+		}
+		if r.Stats.Commits == 0 {
+			t.Fatalf("run at %d CPUs has no commits", r.CPUs)
+		}
+	}
+}

@@ -34,5 +34,11 @@ func Configs(p Params) []harness.Config {
 // deterministic simulator, reproducing the paper's Figure 4
 // (high-contention single-warehouse SPECjbb2000).
 func RunFigure4(cpus []int, totalOps int, p Params, seed int64) harness.Figure {
-	return harness.RunFigure("SPECjbb2000, single warehouse (Figure 4)", Configs(p), cpus, totalOps, seed)
+	return RunFigure4Opts(cpus, totalOps, p, seed, harness.FigureOptions{})
+}
+
+// RunFigure4Opts is RunFigure4 with instrumentation options (conflict
+// profiling for the §6.3-style lost-work analysis).
+func RunFigure4Opts(cpus []int, totalOps int, p Params, seed int64, opts harness.FigureOptions) harness.Figure {
+	return harness.RunFigureOpts("SPECjbb2000, single warehouse (Figure 4)", Configs(p), cpus, totalOps, seed, opts)
 }

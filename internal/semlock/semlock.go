@@ -13,7 +13,11 @@
 // memory transactions (DESIGN.md §4, substitution 3).
 package semlock
 
-import "tcc/internal/stm"
+import (
+	"fmt"
+
+	"tcc/internal/stm"
+)
 
 // Owner identifies a lock-holding top-level transaction; violating an
 // owner aborts that transaction (paper §4, program-directed abort).
@@ -65,12 +69,22 @@ func (s *OwnerSet) ViolateOthers(self Owner, reason string) int {
 // absence).
 type KeyTable[K comparable] struct {
 	lockers map[K]map[Owner]struct{}
+	// keyed makes ViolateOthers append the conflicting key to the
+	// violation reason, so conflict profiles attribute semantic aborts
+	// to individual keys. Off by default: formatting the key costs an
+	// allocation per violated transaction, and it splits one logical
+	// hotspot across as many heatmap rows as there are hot keys.
+	keyed bool
 }
 
 // NewKeyTable creates an empty table.
 func NewKeyTable[K comparable]() *KeyTable[K] {
 	return &KeyTable[K]{lockers: make(map[K]map[Owner]struct{})}
 }
+
+// SetKeyedReasons toggles per-key detail in violation reasons (see the
+// keyed field). Call during setup, before concurrent use.
+func (t *KeyTable[K]) SetKeyedReasons(on bool) { t.keyed = on }
 
 // Lock records o as a reader of key k.
 func (t *KeyTable[K]) Lock(k K, o Owner) {
@@ -104,14 +118,24 @@ func (t *KeyTable[K]) Holds(k K, o Owner) bool {
 // Locked reports whether any transaction holds a lock on k.
 func (t *KeyTable[K]) Locked(k K) bool { return len(t.lockers[k]) > 0 }
 
-// ViolateOthers aborts every reader of k other than self.
+// ViolateOthers aborts every reader of k other than self. With keyed
+// reasons enabled the reason each victim records carries the key, e.g.
+// `TestMap: key conflict [key=17]`.
 func (t *KeyTable[K]) ViolateOthers(k K, self Owner, reason string) int {
 	n := 0
+	detailed := ""
 	for o := range t.lockers[k] {
 		if o == self {
 			continue
 		}
-		if o.Violate(reason) {
+		if t.keyed && detailed == "" {
+			detailed = fmt.Sprintf("%s [key=%v]", reason, k)
+		}
+		r := reason
+		if detailed != "" {
+			r = detailed
+		}
+		if o.Violate(r) {
 			n++
 		}
 	}

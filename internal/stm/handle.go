@@ -57,6 +57,11 @@ type Handle struct {
 	// birth is the worker-local time the attempt began, available to
 	// age-based contention policies.
 	birth uint64
+	// txid is the observability id of the owning top-level transaction
+	// (0 when tracing was disabled at begin). It lets a conflicting
+	// transaction that finds this handle in a lockword attribute its
+	// abort to the holder.
+	txid uint64
 }
 
 // Status returns the current lifecycle state.

@@ -11,6 +11,7 @@ package stm_test
 import (
 	"testing"
 
+	"tcc/internal/obs"
 	"tcc/internal/stm"
 )
 
@@ -166,6 +167,12 @@ func TestReadOnlyAllocationGuardrail(t *testing.T) {
 		vars[i] = stm.NewVar(i)
 	}
 	th := newBenchThread()
+	// The budget assumes the tracing fast path: with no tracer installed
+	// a transaction must not pay for observability (no txid assignment,
+	// no event structs).
+	if obs.Active() != nil {
+		t.Fatal("guardrail requires tracing disabled")
+	}
 	run := func() {
 		_ = th.Atomic(func(tx *stm.Tx) error {
 			for _, v := range vars {
@@ -177,6 +184,65 @@ func TestReadOnlyAllocationGuardrail(t *testing.T) {
 	run() // warm the Tx/level pools
 	if got := testing.AllocsPerRun(100, run); got > 2 {
 		t.Fatalf("read-only 4-var transaction allocates %.1f objects/run, budget is 2", got)
+	}
+}
+
+// TestTracerDisableRestoresAllocBudget checks that observability is
+// pay-as-you-go in both directions: enabling a Profile tracer and then
+// disabling it leaves the read-only fast path back inside the untraced
+// allocation budget — no residual per-transaction cost sticks to the
+// recycled Tx objects.
+func TestTracerDisableRestoresAllocBudget(t *testing.T) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	run := func() {
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
+	}
+	prof := obs.NewProfile()
+	obs.SetTracer(prof)
+	for i := 0; i < 50; i++ {
+		run()
+	}
+	obs.SetTracer(nil)
+	if prof.Report().Commits == 0 {
+		t.Fatal("profile saw no commits while enabled")
+	}
+	run() // warm pools in the disabled regime
+	if got := testing.AllocsPerRun(100, run); got > 2 {
+		t.Fatalf("after disabling tracer, read-only transaction allocates %.1f objects/run, budget is 2", got)
+	}
+}
+
+// BenchmarkSTMReadOnly4VarProfiled is the enabled-tracer counterpart of
+// BenchmarkSTMReadOnly4Var: same transaction with a Profile sink
+// installed, so BENCH_stm.json records what turning observability on
+// costs the fast path (two events plus two histogram observes per
+// commit).
+func BenchmarkSTMReadOnly4VarProfiled(b *testing.B) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	obs.SetTracer(obs.NewProfile())
+	defer obs.SetTracer(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
 	}
 }
 

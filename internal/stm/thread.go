@@ -3,6 +3,8 @@ package stm
 import (
 	"math/rand"
 	"sync"
+
+	"tcc/internal/obs"
 )
 
 // commitMu serializes the window from a transaction's point of no
@@ -92,8 +94,12 @@ type Thread struct {
 	Clock Clock
 	// Stats accumulates this worker's transactional events.
 	Stats Stats
-	rng   *rand.Rand
-	inTx  bool
+	// TraceID is the worker's lane in observability output (the tid of
+	// its Chrome-trace lane and its histogram shard). Harnesses set it
+	// to the virtual CPU id; it is not interpreted by the STM.
+	TraceID int
+	rng     *rand.Rand
+	inTx    bool
 	// deferred accumulates cycles charged by commit/abort handlers via
 	// DeferTick; they are flushed to the Clock once the commit guard is
 	// released.
@@ -135,6 +141,10 @@ func (t *Thread) putTx(tx *Tx) {
 	tx.outer = nil
 	tx.readVersion = 0
 	tx.attempt = 0
+	tx.tracer = nil
+	tx.txid = 0
+	tx.firstBirth = 0
+	tx.conflict = conflictRec{}
 	if tx.locals != nil {
 		clear(tx.locals)
 	}
@@ -186,13 +196,16 @@ func (t *Thread) flushDeferred() {
 
 // backoff stalls according to the worker's contention-management
 // policy (paper §5.1 discusses the need; the default is randomized
-// exponential backoff, see BackoffPolicy for alternatives).
-func (t *Thread) backoff(attempt int) {
+// exponential backoff, see BackoffPolicy for alternatives) and
+// returns the cycles waited, so retry loops can report the stall.
+func (t *Thread) backoff(attempt int) uint64 {
 	p := t.policy
 	if p == nil {
 		p = defaultPolicy
 	}
-	t.Clock.Wait(p.Backoff(attempt, t.rng))
+	w := p.Backoff(attempt, t.rng)
+	t.Clock.Wait(w)
+	return w
 }
 
 // Atomic runs fn as a top-level transaction, retrying on memory
@@ -222,39 +235,69 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 		if tx.locals != nil {
 			clear(tx.locals)
 		}
+		// One atomic load per attempt is the entire disabled-tracer
+		// cost (plus nil checks at the emission sites below).
+		tx.tracer = obs.Active()
+		if tx.tracer != nil {
+			if tx.txid == 0 {
+				tx.txid = txIDs.Add(1)
+			}
+			tx.handle.txid = tx.txid
+			if tx.firstBirth == 0 {
+				tx.firstBirth = tx.handle.birth
+			}
+			tx.conflict = conflictRec{}
+			tx.tracer.Trace(tx.event(obs.KindTxBegin))
+		}
 		err, sig := runTx(fn, tx)
 		switch {
 		case sig == nil && err == nil:
+			var nr, nw, nh int
+			if tx.tracer != nil {
+				nr, nw, nh = tx.cur.reads.len(), tx.cur.writes.len(), len(tx.cur.onCommit)
+			}
 			if tx.commit() {
 				t.Stats.Commits++
+				if tx.tracer != nil {
+					e := tx.event(obs.KindTxCommit)
+					e.Dur = since(e.Time, tx.firstBirth)
+					e.Reads, e.Writes, e.Handlers = nr, nw, nh
+					tx.tracer.Trace(e)
+				}
 				t.putTx(tx)
 				return nil
 			}
 			tx.rollback()
 			if reason := tx.handle.ViolationReason(); reason != "" {
 				t.Stats.countViolation(reason)
+				tx.emitRollback(obs.KindTxViolated, reason)
 			} else {
 				t.Stats.Aborts++
+				tx.emitRollback(obs.KindTxAbort, "")
 			}
 		case sig == nil && err != nil:
 			tx.rollback()
 			t.Stats.UserAborts++
+			tx.emitRollback(obs.KindTxUserAbort, "error return")
 			t.putTx(tx)
 			return err
 		case sig.kind == sigUserAbort:
 			tx.rollback()
 			t.Stats.UserAborts++
+			tx.emitRollback(obs.KindTxUserAbort, sig.reason)
 			t.putTx(tx)
 			return sig.err
 		case sig.kind == sigViolated:
 			tx.rollback()
 			t.Stats.countViolation(sig.reason)
+			tx.emitRollback(obs.KindTxViolated, sig.reason)
 		default: // sigRetry
 			tx.rollback()
 			t.Stats.Aborts++
+			tx.emitRollback(obs.KindTxAbort, "")
 		}
 		t.releaseLevels(tx)
-		t.backoff(attempt)
+		tx.backoffTraced(attempt)
 	}
 }
 
@@ -289,23 +332,30 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 			if o.commitOpen() {
 				tx.cur.onCommit = append(tx.cur.onCommit, o.cur.onCommit...)
 				tx.cur.onAbort = append(tx.cur.onAbort, o.cur.onAbort...)
-				t.putTx(o)
 				t.Stats.OpenCommits++
+				if tr := o.trc(); tr != nil {
+					e := o.event(obs.KindOpenCommit)
+					e.Writes = o.cur.writes.len()
+					tr.Trace(e)
+				}
+				t.putTx(o)
 				tx.tick(CostOpenCommit)
 				return nil
 			}
 			t.Stats.OpenRetries++
+			o.emitOpenRetry()
 		case sig == nil && err != nil:
 			t.putTx(o)
 			return err
 		case sig.kind == sigRetry:
 			t.Stats.OpenRetries++
+			o.emitOpenRetry()
 		default:
 			// Violation or user abort of the enclosing transaction.
 			t.putTx(o)
 			panic(sig)
 		}
 		t.releaseLevels(o)
-		t.backoff(attempt)
+		o.backoffTraced(attempt)
 	}
 }

@@ -1,0 +1,135 @@
+package stm
+
+import (
+	"sync/atomic"
+
+	"tcc/internal/obs"
+)
+
+// This file is the STM side of the observability layer (see
+// internal/obs): conflict attribution and event emission for the
+// TAPE-style profiles of paper §6.3.
+//
+// Discipline: the hot path pays one obs.Active() load per top-level
+// attempt. Attribution inside the commit machinery (noteConflict) only
+// stores pre-existing pointers and constant strings — no allocation,
+// no user code — because it can run while the global commit guard is
+// held. Everything that formats, allocates, or calls the Tracer
+// happens in the retry loop after locks are released (the stmlint
+// trace-in-commit rule enforces this for emission sites).
+
+// txIDs hands out process-global transaction ids. Ids are assigned
+// lazily — only when a tracer is installed — so untraced runs pay
+// nothing.
+var txIDs atomic.Uint64
+
+// Mechanical conflict causes, as constant strings so recording one
+// never allocates.
+const (
+	causeStaleRead   = "stale read"
+	causeLockedVar   = "locked by committer"
+	causeCommitLock  = "commit lock busy"
+	causeCommitStale = "commit validation failed"
+)
+
+// conflictRec is the pending attribution of the most recent
+// memory-level conflict: which variable, who held it, and the
+// mechanical cause. It lives on the top-level Tx and is consumed by
+// the next rollback/retry event emission.
+type conflictRec struct {
+	c     *varCore
+	other uint64 // txid of the conflicting transaction, if known
+	cause string
+}
+
+// noteConflict records attribution for an imminent conflict signal.
+// Safe under the commit guard: field stores only.
+func (tx *Tx) noteConflict(c *varCore, owner *Handle, cause string) {
+	top := tx.top()
+	if top.tracer == nil {
+		return
+	}
+	rec := conflictRec{c: c, cause: cause}
+	if owner != nil {
+		rec.other = owner.txid
+	}
+	top.conflict = rec
+}
+
+// takeConflict consumes the pending attribution, resolving the
+// variable's display label (this may allocate; emission sites only).
+func (tx *Tx) takeConflict() (where string, other uint64, cause string) {
+	top := tx.top()
+	rec := top.conflict
+	top.conflict = conflictRec{}
+	if rec.c != nil {
+		where = rec.c.displayLabel()
+	}
+	return where, rec.other, rec.cause
+}
+
+// trc returns the tracer captured by the enclosing top-level attempt.
+func (tx *Tx) trc() obs.Tracer { return tx.top().tracer }
+
+// event stamps a new event with the transaction's identity and the
+// worker's current time.
+func (tx *Tx) event(k obs.Kind) obs.Event {
+	top := tx.top()
+	return obs.Event{
+		Kind:    k,
+		TxID:    top.txid,
+		CPU:     tx.thread.TraceID,
+		Attempt: top.attempt,
+		Time:    tx.thread.Clock.Now(),
+	}
+}
+
+// since returns now-start clamped at zero (tracer installation
+// mid-transaction can leave start unset).
+func since(now, start uint64) uint64 {
+	if start >= now {
+		return 0
+	}
+	return now - start
+}
+
+// emitRollback emits the abort/violation/user-abort event for the
+// attempt that just rolled back, attaching any pending conflict
+// attribution. reason, when non-empty, overrides the mechanical cause
+// (violation reasons carry the semantic attribution).
+func (tx *Tx) emitRollback(kind obs.Kind, reason string) {
+	if tx.tracer == nil {
+		return
+	}
+	e := tx.event(kind)
+	e.Dur = since(e.Time, tx.handle.birth)
+	e.Where, e.OtherTx, e.Reason = tx.takeConflict()
+	if reason != "" {
+		e.Reason = reason
+	}
+	tx.tracer.Trace(e)
+}
+
+// emitOpenRetry emits the retry event for an open-nested child.
+func (o *Tx) emitOpenRetry() {
+	tr := o.trc()
+	if tr == nil {
+		return
+	}
+	e := o.event(obs.KindOpenRetry)
+	e.Where, e.OtherTx, e.Reason = o.takeConflict()
+	tr.Trace(e)
+}
+
+// backoffTraced stalls via the contention manager and emits the wait
+// as a backoff span.
+func (tx *Tx) backoffTraced(attempt int) {
+	waited := tx.thread.backoff(attempt)
+	tr := tx.trc()
+	if tr == nil {
+		return
+	}
+	e := tx.event(obs.KindBackoff)
+	e.Dur = waited
+	tr.Trace(e)
+}

@@ -3,6 +3,8 @@ package stm
 import (
 	"fmt"
 	"sort"
+
+	"tcc/internal/obs"
 )
 
 // signal is the panic payload used for non-local transaction control
@@ -98,24 +100,26 @@ func (s *readSet) has(c *varCore) bool {
 // len returns the number of recorded reads.
 func (s *readSet) len() int { return s.n + len(s.spill) }
 
-// allCurrent reports whether every recorded read is still at its
-// recorded version and not locked by a transaction other than self —
-// the shared predicate of TL2 read-version extension and commit-time
-// read validation. One atomic load per unlocked entry.
-func (s *readSet) allCurrent(self *Handle) bool {
+// firstInvalid returns the first recorded read that is no longer at
+// its recorded version or is locked by a transaction other than self
+// (nil if the whole set is valid) — the shared predicate of TL2
+// read-version extension and commit-time read validation, returning
+// the offending variable so rollbacks can be attributed to it. One
+// atomic load per unlocked entry.
+func (s *readSet) firstInvalid(self *Handle) *varCore {
 	for i := 0; i < s.n; i++ {
 		cur, lockedByOther := s.inline[i].c.peek(self)
 		if lockedByOther || cur != s.inline[i].ver {
-			return false
+			return s.inline[i].c
 		}
 	}
 	for c, ver := range s.spill {
 		cur, lockedByOther := c.peek(self)
 		if lockedByOther || cur != ver {
-			return false
+			return c
 		}
 	}
-	return true
+	return nil
 }
 
 // reset clears the set for reuse, dropping core pointers so recycled
@@ -260,6 +264,18 @@ type Tx struct {
 	// attempt counts restarts of this top-level transaction, feeding
 	// the contention manager's backoff.
 	attempt int
+
+	// Observability state, meaningful only on a top-level Tx (nested
+	// and open children route through top()). tracer is the sink
+	// captured at the start of the attempt (nil = tracing disabled,
+	// the fast path); txid is the process-global transaction id,
+	// assigned lazily when a tracer is active; firstBirth is the
+	// worker time of the first attempt, for whole-transaction latency;
+	// conflict is the pending rollback attribution.
+	tracer     obs.Tracer
+	txid       uint64
+	firstBirth uint64
+	conflict   conflictRec
 }
 
 // Thread returns the worker this transaction runs on.
@@ -373,7 +389,8 @@ func (tx *Tx) tick(cycles uint64) { tx.thread.Clock.Tick(cycles) }
 func (tx *Tx) extend() bool {
 	now := globalClock.Load()
 	for l := tx.cur; l != nil; l = l.parent {
-		if !l.reads.allCurrent(tx.handle) {
+		if c := l.reads.firstInvalid(tx.handle); c != nil {
+			tx.noteConflict(c, nil, causeStaleRead)
 			return false
 		}
 	}
@@ -419,10 +436,15 @@ func (tx *Tx) Nested(fn func() error) error {
 			child.runAbortHandlers()
 			t.putLevel(child)
 			tx.thread.Stats.NestedRetries++
+			if tr := tx.trc(); tr != nil {
+				e := tx.event(obs.KindNestedRetry)
+				e.Where, e.OtherTx, e.Reason = tx.takeConflict()
+				tr.Trace(e)
+			}
 			if !tx.extend() {
 				panic(sig)
 			}
-			tx.thread.backoff(childAttempt)
+			tx.backoffTraced(childAttempt)
 		default:
 			// Violation or user abort of the whole transaction: this
 			// child level is rolled back on the way out.
@@ -578,11 +600,17 @@ func (tx *Tx) publish(l *level, doPrepare bool) bool {
 	buf := tx.thread.sortedWrites(l)
 	for i, e := range buf {
 		if !e.c.tryLock(tx.handle) {
+			tx.noteConflict(e.c, e.c.owner.Load(), causeCommitLock)
 			releaseLocks(buf[:i])
 			return false
 		}
 	}
-	if !l.reads.allCurrent(tx.handle) || (doPrepare && !tx.handle.toPrepared()) {
+	if c := l.reads.firstInvalid(tx.handle); c != nil {
+		tx.noteConflict(c, nil, causeCommitStale)
+		releaseLocks(buf)
+		return false
+	}
+	if doPrepare && !tx.handle.toPrepared() {
 		releaseLocks(buf)
 		return false
 	}

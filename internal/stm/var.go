@@ -2,6 +2,7 @@ package stm
 
 import (
 	"runtime"
+	"strconv"
 	"sync/atomic"
 )
 
@@ -61,8 +62,13 @@ func wordLocked(w uint64) bool    { return w&lockBit != 0 }
 // that observe the lock bit before the owner store see a nil owner and
 // conservatively treat the variable as locked by another transaction.
 type varCore struct {
-	id   uint64
-	word atomic.Uint64
+	id uint64
+	// label is the variable's name in observability output (conflict
+	// heatmaps, traces). Write it only during construction/setup —
+	// before the variable is shared — so reads at event-emission time
+	// need no synchronization.
+	label string
+	word  atomic.Uint64
 	// val points to the committed value box. Boxes are immutable once
 	// published; install replaces the pointer, never the pointee, so a
 	// reader holding a stale box still sees a coherent value.
@@ -77,6 +83,15 @@ func newVarCore(initial any) *varCore {
 	*box = initial
 	c.val.Store(box)
 	return c
+}
+
+// displayLabel names the variable in observability output, falling
+// back to its allocation-ordered id.
+func (c *varCore) displayLabel() string {
+	if c.label != "" {
+		return c.label
+	}
+	return "var#" + strconv.FormatUint(c.id, 10)
 }
 
 // sample returns a consistent (value, version) pair without taking any
@@ -107,6 +122,7 @@ func (c *varCore) sample(tx *Tx) (any, uint64) {
 			// The owner may itself be stalled behind us in some
 			// larger scheme; give up the attempt rather than spin
 			// forever.
+			tx.noteConflict(c, c.owner.Load(), causeLockedVar)
 			tx.bail(sigRetry, "variable locked by committer")
 		}
 		tx.thread.Clock.Wait(4)
@@ -172,6 +188,18 @@ type Var[T any] struct {
 func NewVar[T any](initial T) *Var[T] {
 	return &Var[T]{core: newVarCore(initial)}
 }
+
+// SetLabel names the variable in observability output (conflict
+// heatmaps, Chrome traces); unlabelled vars appear as "var#<id>". Call
+// it during construction, before the variable is shared with other
+// threads. Returns v for chaining.
+func (v *Var[T]) SetLabel(label string) *Var[T] {
+	v.core.label = label
+	return v
+}
+
+// Label returns the variable's observability label ("" if unset).
+func (v *Var[T]) Label() string { return v.core.label }
 
 // Get returns the variable's value as seen by tx: the transaction's own
 // pending write if it has one (innermost nesting level first), otherwise

@@ -13,6 +13,7 @@ package stmcol
 
 import (
 	"hash/maphash"
+	"strconv"
 
 	"tcc/internal/stm"
 )
@@ -27,6 +28,10 @@ var hashSeed = maphash.MakeSeed()
 type HashMap[K comparable, V any] struct {
 	table *stm.Var[*hTable[K, V]]
 	size  *stm.Var[int]
+	// name prefixes the observability labels of the map's internal
+	// vars, so conflict heatmaps attribute aborts to e.g.
+	// "TestMap.size" — the paper's §6.3 "global counters" finding.
+	name string
 }
 
 type hTable[K comparable, V any] struct {
@@ -49,9 +54,28 @@ const (
 
 // NewHashMap creates an empty transactional hash map.
 func NewHashMap[K comparable, V any]() *HashMap[K, V] {
-	return &HashMap[K, V]{
+	m := &HashMap[K, V]{
 		table: stm.NewVar(newHTable[K, V](initialBuckets)),
 		size:  stm.NewVar(0),
+	}
+	m.SetName("HashMap")
+	return m
+}
+
+// SetName labels the map's internal vars for conflict attribution
+// ("name.size", "name.table", "name.bucket[i]"). Call before sharing
+// the map with concurrent transactions.
+func (m *HashMap[K, V]) SetName(name string) *HashMap[K, V] {
+	m.name = name
+	m.size.SetLabel(name + ".size")
+	m.table.SetLabel(name + ".table")
+	labelBuckets(name, m.table.GetCommitted())
+	return m
+}
+
+func labelBuckets[K comparable, V any](name string, t *hTable[K, V]) {
+	for i, b := range t.buckets {
+		b.SetLabel(name + ".bucket[" + strconv.Itoa(i) + "]")
 	}
 }
 
@@ -152,6 +176,9 @@ func removeNode[K comparable, V any](head, target *hNode[K, V]) *hNode[K, V] {
 
 func (m *HashMap[K, V]) rehash(tx *stm.Tx, old *hTable[K, V]) {
 	nt := newHTable[K, V](len(old.buckets) * 2)
+	// The new table is still private to this transaction; label its
+	// buckets before it is published through m.table.
+	labelBuckets(m.name, nt)
 	for _, b := range old.buckets {
 		for n := b.Get(tx); n != nil; n = n.next {
 			nb := nt.bucketFor(n.hash)

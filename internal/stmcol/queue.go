@@ -9,6 +9,9 @@ import "tcc/internal/stm"
 type Queue[T any] struct {
 	head, tail *stm.Var[*qNode[T]]
 	size       *stm.Var[int]
+	// nodeLabel is the shared observability label of per-node next
+	// links (one heatmap row for all of them).
+	nodeLabel string
 }
 
 type qNode[T any] struct {
@@ -18,16 +21,29 @@ type qNode[T any] struct {
 
 // NewQueue creates an empty transactional queue.
 func NewQueue[T any]() *Queue[T] {
-	return &Queue[T]{
+	q := &Queue[T]{
 		head: stm.NewVar[*qNode[T]](nil),
 		tail: stm.NewVar[*qNode[T]](nil),
 		size: stm.NewVar(0),
 	}
+	q.SetName("Queue")
+	return q
+}
+
+// SetName labels the queue's vars for conflict attribution
+// ("name.head", "name.tail", "name.size", "name.node"). Call before
+// sharing the queue with concurrent transactions.
+func (q *Queue[T]) SetName(name string) *Queue[T] {
+	q.head.SetLabel(name + ".head")
+	q.tail.SetLabel(name + ".tail")
+	q.size.SetLabel(name + ".size")
+	q.nodeLabel = name + ".node"
+	return q
 }
 
 // Enqueue appends v at the tail.
 func (q *Queue[T]) Enqueue(tx *stm.Tx, v T) {
-	n := &qNode[T]{val: v, next: stm.NewVar[*qNode[T]](nil)}
+	n := &qNode[T]{val: v, next: stm.NewVar[*qNode[T]](nil).SetLabel(q.nodeLabel)}
 	t := q.tail.Get(tx)
 	if t == nil {
 		q.head.Set(tx, n)

@@ -9,6 +9,8 @@ package stmcol
 // that claim against TransactionalMap.
 
 import (
+	"strconv"
+
 	"tcc/internal/stm"
 )
 
@@ -28,7 +30,8 @@ func NewSegmentedHashMap[K comparable, V any](nSeg int) *SegmentedHashMap[K, V] 
 	}
 	m := &SegmentedHashMap[K, V]{mask: uint64(nSeg - 1)}
 	for i := 0; i < nSeg; i++ {
-		m.segments = append(m.segments, NewHashMap[K, V]())
+		seg := NewHashMap[K, V]().SetName("SegmentedHashMap.seg[" + strconv.Itoa(i) + "]")
+		m.segments = append(m.segments, seg)
 	}
 	return m
 }

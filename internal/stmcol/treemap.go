@@ -17,6 +17,13 @@ type TreeMap[K comparable, V any] struct {
 	cmp  func(a, b K) int
 	root *stm.Var[*TNode[K, V]]
 	size *stm.Var[int]
+	// Observability labels. Per-node vars share two label strings —
+	// "name.node" for structural fields (links and colors, written by
+	// rotations) and "name.entry" for key/value fields — so the
+	// conflict heatmap aggregates rotation conflicts into one row
+	// instead of one row per node.
+	nodeLabel  string
+	entryLabel string
 }
 
 // TNode is a tree node; exported only within the package's API surface
@@ -28,14 +35,14 @@ type TNode[K comparable, V any] struct {
 	red                 *stm.Var[bool]
 }
 
-func newTNode[K comparable, V any](k K, v V, parent *TNode[K, V]) *TNode[K, V] {
+func (t *TreeMap[K, V]) newTNode(k K, v V, parent *TNode[K, V]) *TNode[K, V] {
 	return &TNode[K, V]{
-		key:    stm.NewVar(k),
-		val:    stm.NewVar(v),
-		left:   stm.NewVar[*TNode[K, V]](nil),
-		right:  stm.NewVar[*TNode[K, V]](nil),
-		parent: stm.NewVar(parent),
-		red:    stm.NewVar(false),
+		key:    stm.NewVar(k).SetLabel(t.entryLabel),
+		val:    stm.NewVar(v).SetLabel(t.entryLabel),
+		left:   stm.NewVar[*TNode[K, V]](nil).SetLabel(t.nodeLabel),
+		right:  stm.NewVar[*TNode[K, V]](nil).SetLabel(t.nodeLabel),
+		parent: stm.NewVar(parent).SetLabel(t.nodeLabel),
+		red:    stm.NewVar(false).SetLabel(t.nodeLabel),
 	}
 }
 
@@ -48,11 +55,24 @@ func NewTreeMap[K cmp.Ordered, V any]() *TreeMap[K, V] {
 // NewTreeMapFunc creates an empty transactional tree map with an
 // explicit comparator.
 func NewTreeMapFunc[K comparable, V any](compare func(a, b K) int) *TreeMap[K, V] {
-	return &TreeMap[K, V]{
+	t := &TreeMap[K, V]{
 		cmp:  compare,
 		root: stm.NewVar[*TNode[K, V]](nil),
 		size: stm.NewVar(0),
 	}
+	t.SetName("TreeMap")
+	return t
+}
+
+// SetName labels the tree's vars for conflict attribution
+// ("name.root", "name.size", "name.node", "name.entry"). Nodes created
+// before the rename keep their old labels; call before populating.
+func (t *TreeMap[K, V]) SetName(name string) *TreeMap[K, V] {
+	t.root.SetLabel(name + ".root")
+	t.size.SetLabel(name + ".size")
+	t.nodeLabel = name + ".node"
+	t.entryLabel = name + ".entry"
+	return t
 }
 
 // Null-safe helpers, mirroring java.util.TreeMap's colorOf/parentOf/
@@ -126,7 +146,7 @@ func (t *TreeMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
 	var zero V
 	n := t.root.Get(tx)
 	if n == nil {
-		t.root.Set(tx, newTNode(k, v, nil))
+		t.root.Set(tx, t.newTNode(k, v, nil))
 		t.size.Set(tx, 1)
 		return zero, false
 	}
@@ -146,7 +166,7 @@ func (t *TreeMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
 			return old, true
 		}
 	}
-	e := newTNode(k, v, parent)
+	e := t.newTNode(k, v, parent)
 	if c < 0 {
 		parent.left.Set(tx, e)
 	} else {

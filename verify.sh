@@ -29,6 +29,13 @@ go run ./cmd/stmlint ./...
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
 
+echo "== observability smoke (profile + stats-json + trace, validated)"
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/tccbench -fig 1 -ops 512 -cpus 8 -profile \
+  -stats-json "$obsdir/stats.json" -trace "$obsdir/trace.json" >/dev/null
+go run ./cmd/tracecheck -stats "$obsdir/stats.json" -trace "$obsdir/trace.json"
+
 if [[ "$mode" == "bench" ]]; then
   echo "== bench suite (scripts/bench.sh)"
   ./scripts/bench.sh
