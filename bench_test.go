@@ -65,6 +65,22 @@ func BenchmarkFigure3(b *testing.B) {
 	reportFigure(b, fig, []string{"java", "atomos", "tcc"})
 }
 
+// BenchmarkFigureDisjoint sweeps the commit-guard sharding pair: one
+// shared TransactionalMap (overlapping guard footprints and keyspace)
+// against per-worker private maps (pairwise-disjoint footprints). The
+// disjoint line scales near-linearly because nothing — neither the
+// optimistic read/write sets nor, since the guards were sharded, the
+// commit handlers — is shared between workers.
+func BenchmarkFigureDisjoint(b *testing.B) {
+	p := harness.DefaultMapParams()
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestDisjoint", harness.DisjointMapConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"shared", "disjoint"})
+}
+
 // BenchmarkFigure4 regenerates the single-warehouse SPECjbb2000 sweep
 // across the four configurations.
 func BenchmarkFigure4(b *testing.B) {

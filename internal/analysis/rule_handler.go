@@ -51,7 +51,11 @@ func runHandlerTxn(p *Pass) {
 				case isSTMMethod(info, n, "Tx", "OnCommit"),
 					isSTMMethod(info, n, "Tx", "OnAbort"),
 					isSTMMethod(info, n, "Tx", "OnTopCommit"),
-					isSTMMethod(info, n, "Tx", "OnTopAbort"):
+					isSTMMethod(info, n, "Tx", "OnTopAbort"),
+					isSTMMethod(info, n, "Tx", "OnCommitGuarded"),
+					isSTMMethod(info, n, "Tx", "OnAbortGuarded"),
+					isSTMMethod(info, n, "Tx", "OnTopCommitGuarded"),
+					isSTMMethod(info, n, "Tx", "OnTopAbortGuarded"):
 					p.Reportf(n.Pos(), "handler registers another handler on a finished transaction")
 					markReceiver(n, reported)
 				}

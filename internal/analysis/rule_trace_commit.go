@@ -6,20 +6,23 @@ import (
 	"strings"
 )
 
-// trace-in-commit: observability work inside the commit lock-hold
+// trace-in-commit: observability work inside a commit-guard hold
 // window. The STM promises that tracing is pay-as-you-go: event structs
-// are built and Tracer.Trace is invoked only outside the global commit
-// guard (commitMu), because a sink is arbitrary user code and event
-// assembly allocates — either one inside the guard would serialize every
-// handler-bearing commit in the process behind it. Conflict attribution
-// inside the guard is limited to plain field stores (stm's noteConflict);
-// emission happens after the lock is released. This rule makes that
-// boundary machine-checked: between commitMu.Lock() and
-// commitMu.Unlock(), no statement — nor any same-package function called
-// from one — may call into the obs package or construct an obs value.
+// are built and Tracer.Trace is invoked only outside commit guards
+// (stm.Guard), because a sink is arbitrary user code and event assembly
+// allocates — either one inside a guard window would serialize every
+// commit sharing that guard behind it. Conflict attribution inside the
+// window is limited to plain field stores (stm's noteConflict and
+// noteGuardWait); emission happens after the guards are released. This
+// rule makes that boundary machine-checked: between a window-opening
+// statement — a Guard.Lock() call, or a call to a function named
+// acquireGuards (the protocol's footprint acquisition) — and the
+// matching Guard.Unlock() / releaseGuards(), no statement — nor any
+// same-package function called from one — may call into the obs package
+// or construct an obs value.
 var ruleTraceInCommit = &Rule{
 	ID:  "trace-in-commit",
-	Doc: "observability emission (obs call or obs value construction) inside the commitMu lock-hold window",
+	Doc: "observability emission (obs call or obs value construction) inside a commit-guard hold window",
 	Run: runTraceInCommit,
 }
 
@@ -58,13 +61,13 @@ func runTraceInCommit(p *Pass) {
 			}
 			held := false
 			for _, stmt := range block.List {
-				if !held && stmtLocksCommitMu(stmt, "Lock") {
+				if !held && stmtOpensGuardWindow(info, stmt) {
 					held = true
 				}
 				if held {
 					p.reportObsRefs(stmt, "")
 					collectPackageCallees(info, stmt, guarded)
-					if stmtLocksCommitMu(stmt, "Unlock") {
+					if stmtClosesGuardWindow(info, stmt) {
 						held = false
 					}
 				}
@@ -101,22 +104,36 @@ func runTraceInCommit(p *Pass) {
 	}
 }
 
-// stmtLocksCommitMu reports whether stmt directly performs
-// commitMu.<method>(). Deferred unlocks and function literals do not
+// stmtOpensGuardWindow reports whether stmt directly opens a
+// commit-guard hold window: it calls stm.Guard.Lock (the collections'
+// fused critical sections), or a function named acquireGuards (the
+// commit protocol's blocking footprint acquisition — matched by name so
+// the rule works both on the stm package's unexported helper and on
+// fixtures that model it). Deferred calls and function literals do not
 // count: a defer runs at function return, and a closure body runs
-// whenever it is invoked — neither changes whether the guard is held at
+// whenever it is invoked — neither changes whether a guard is held at
 // the statements that follow.
-func stmtLocksCommitMu(stmt ast.Stmt, method string) bool {
+func stmtOpensGuardWindow(info *types.Info, stmt ast.Stmt) bool {
+	return stmtGuardOp(info, stmt, "Lock", "acquireGuards")
+}
+
+// stmtClosesGuardWindow reports whether stmt directly closes the
+// window: Guard.Unlock or a call to a function named releaseGuards.
+func stmtClosesGuardWindow(info *types.Info, stmt ast.Stmt) bool {
+	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards")
+}
+
+func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName string) bool {
 	found := false
 	ast.Inspect(stmt, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.DeferStmt, *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == method {
-				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "commitMu" {
-					found = true
-				}
+			if isSTMMethod(info, n, "Guard", method) {
+				found = true
+			} else if fn := calleeFunc(info, n); fn != nil && fn.Name() == freeName && recvNamed(fn) == nil {
+				found = true
 			}
 		}
 		return !found
@@ -140,14 +157,14 @@ func (p *Pass) reportObsRefs(n ast.Node, via string) {
 		case *ast.CallExpr:
 			fn := calleeFunc(info, c)
 			if fn != nil && fn.Pkg() != nil && isObsPath(fn.Pkg().Path()) {
-				p.Reportf(c.Pos(), "call to obs.%s inside the commit lock-hold window%s; emit after commitMu.Unlock — a tracer sink is user code and must not run under the global commit guard", fn.Name(), suffix)
+				p.Reportf(c.Pos(), "call to obs.%s inside a commit-guard hold window%s; emit after the guard is released — a tracer sink is user code and must not run under a commit guard", fn.Name(), suffix)
 			}
 		case *ast.CompositeLit:
 			if tv, ok := info.Types[c]; ok {
 				if named, ok := tv.Type.(*types.Named); ok {
 					obj := named.Origin().Obj()
 					if obj.Pkg() != nil && isObsPath(obj.Pkg().Path()) {
-						p.Reportf(c.Pos(), "constructing obs.%s inside the commit lock-hold window%s; event assembly allocates and belongs after commitMu.Unlock", obj.Name(), suffix)
+						p.Reportf(c.Pos(), "constructing obs.%s inside a commit-guard hold window%s; event assembly allocates and belongs after the guard is released", obj.Name(), suffix)
 					}
 				}
 			}

@@ -1,49 +1,73 @@
-// Package traceincommit exercises the trace-in-commit rule: between
-// commitMu.Lock and commitMu.Unlock no code may call into the obs
-// package or construct obs values — emission belongs after the guard is
-// released.
+// Package traceincommit exercises the trace-in-commit rule: inside a
+// commit-guard hold window — opened by stm.Guard.Lock or by a call to a
+// function named acquireGuards, closed by Guard.Unlock /
+// releaseGuards — no code may call into the obs package or construct
+// obs values. Emission belongs after the guards are released.
 package traceincommit
 
 import (
 	"sync"
 
 	"tcc/internal/obs"
+	"tcc/internal/stm"
 )
 
-var commitMu sync.Mutex
+var guard = stm.NewGuard()
 
-// otherMu is a non-guard mutex; holding it does not restrict emission.
+// otherMu is a plain mutex; holding it does not restrict emission.
 var otherMu sync.Mutex
 
 // emitInWindow emits directly inside the window: both the event
 // construction and the sink call are flagged.
 func emitInWindow(tr obs.Tracer) {
-	commitMu.Lock()
+	guard.Lock()
 	e := obs.Event{Kind: obs.KindTxCommit} // want trace-in-commit
 	tr.Trace(e)                            // want trace-in-commit
-	commitMu.Unlock()
+	guard.Unlock()
 	tr.Trace(e) // emission after Unlock is the sanctioned pattern
 }
 
-// conditionalWindow mirrors the STM's real shape: the guard is taken
-// under a condition, so the window opens at the if statement.
+// conditionalWindow mirrors the collections' real shape: the guard is
+// taken under a condition, so the window opens at the if statement.
 func conditionalWindow(tr obs.Tracer, guarded bool) {
 	if guarded {
-		commitMu.Lock()
+		guard.Lock()
 	}
 	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
 	if guarded {
-		commitMu.Unlock()
+		guard.Unlock()
 	}
 	tr.Trace(obs.Event{})
+}
+
+// footprint models the commit protocol's guard-set acquisition: calls
+// to functions named acquireGuards/releaseGuards open and close the
+// window just like direct Guard.Lock/Unlock.
+func acquireGuards(gs []*stm.Guard) {
+	for _, g := range gs {
+		g.Lock()
+	}
+}
+
+func releaseGuards(gs []*stm.Guard) {
+	for _, g := range gs {
+		g.Unlock()
+	}
+}
+
+func footprintWindow(tr obs.Tracer, gs []*stm.Guard) {
+	acquireGuards(gs)
+	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
+	releaseGuards(gs)
+	tr.Trace(obs.Event{}) // emission after release: the protocol's emitGuardWaits shape
 }
 
 // lockAndCall reaches emission through a same-package call chain; the
 // diagnostics land on the emitting lines of the callees.
 func lockAndCall() {
-	commitMu.Lock()
+	guard.Lock()
 	helper()
-	commitMu.Unlock()
+	guard.Unlock()
 }
 
 func helper() {
@@ -57,17 +81,17 @@ func deeper() {
 // deferredUnlock holds the guard until the function returns, so the
 // trailing emission is still inside the window.
 func deferredUnlock(tr obs.Tracer) {
-	commitMu.Lock()
-	defer commitMu.Unlock()
+	guard.Lock()
+	defer guard.Unlock()
 	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
 }
 
-// closureDoesNotOpen: a commitMu window inside a function literal does
+// closureDoesNotOpen: a guard window inside a function literal does
 // not leak into the enclosing function.
 func closureDoesNotOpen(tr obs.Tracer) {
 	f := func() {
-		commitMu.Lock()
-		commitMu.Unlock()
+		guard.Lock()
+		guard.Unlock()
 	}
 	f()
 	tr.Trace(obs.Event{})
@@ -80,16 +104,17 @@ func otherMutexIsFine(tr obs.Tracer) {
 	otherMu.Unlock()
 }
 
-// fieldStoresAreFine mirrors stm's noteConflict: recording attribution
-// with plain stores inside the window is the sanctioned mechanism.
+// fieldStoresAreFine mirrors stm's noteConflict and noteGuardWait:
+// recording attribution with plain stores inside the window is the
+// sanctioned mechanism.
 type conflictNote struct {
 	where string
 	other uint64
 }
 
 func fieldStoresAreFine(n *conflictNote) {
-	commitMu.Lock()
+	guard.Lock()
 	n.where = "var#1"
 	n.other = 42
-	commitMu.Unlock()
+	guard.Unlock()
 }

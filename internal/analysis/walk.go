@@ -97,7 +97,7 @@ type bodyKind int
 const (
 	bodyPlain   bodyKind = iota
 	bodyTx               // argument to Thread.Atomic, Tx.Open or Tx.Nested
-	bodyHandler          // argument to OnCommit/OnAbort/OnTopCommit/OnTopAbort
+	bodyHandler          // argument to OnCommit/OnAbort/OnTopCommit/OnTopAbort or a Guarded variant
 	bodyGo               // launched by a go statement
 )
 
@@ -124,23 +124,36 @@ func classifyFuncLits(info *types.Info, f *ast.File) map[*ast.FuncLit]bodyKind {
 				kinds[lit] = bodyGo
 			}
 		case *ast.CallExpr:
-			if len(n.Args) == 0 {
-				return true
-			}
-			lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit)
-			if !ok {
-				return true
+			litAt := func(i int) *ast.FuncLit {
+				if i >= len(n.Args) {
+					return nil
+				}
+				lit, _ := ast.Unparen(n.Args[i]).(*ast.FuncLit)
+				return lit
 			}
 			switch {
 			case isSTMMethod(info, n, "Thread", "Atomic"),
 				isSTMMethod(info, n, "Tx", "Open"),
 				isSTMMethod(info, n, "Tx", "Nested"):
-				kinds[lit] = bodyTx
+				if lit := litAt(0); lit != nil {
+					kinds[lit] = bodyTx
+				}
 			case isSTMMethod(info, n, "Tx", "OnCommit"),
 				isSTMMethod(info, n, "Tx", "OnAbort"),
 				isSTMMethod(info, n, "Tx", "OnTopCommit"),
 				isSTMMethod(info, n, "Tx", "OnTopAbort"):
-				kinds[lit] = bodyHandler
+				if lit := litAt(0); lit != nil {
+					kinds[lit] = bodyHandler
+				}
+			case isSTMMethod(info, n, "Tx", "OnCommitGuarded"),
+				isSTMMethod(info, n, "Tx", "OnAbortGuarded"),
+				isSTMMethod(info, n, "Tx", "OnTopCommitGuarded"),
+				isSTMMethod(info, n, "Tx", "OnTopAbortGuarded"):
+				// Guarded registration takes (guard, fn): the handler
+				// literal is the second argument.
+				if lit := litAt(1); lit != nil {
+					kinds[lit] = bodyHandler
+				}
 			}
 		}
 		return true

@@ -65,9 +65,9 @@ func TestIteratorOnEmptyMap(t *testing.T) {
 			t.Fatal("Next on empty iterator succeeded")
 		}
 		// HasNext()==false on an empty map still reveals the size.
-		tm.mu.Lock()
+		tm.guard.Lock()
 		n := tm.sizeLockers.Len()
-		tm.mu.Unlock()
+		tm.guard.Unlock()
 		if n != 1 {
 			t.Fatal("exhausted empty iterator must hold the size lock")
 		}
@@ -121,9 +121,9 @@ func TestSortedIteratorOnEmptyMap(t *testing.T) {
 			t.Fatal("empty sorted map has next")
 		}
 		// Unbounded exhaustion takes the last lock.
-		tm.mu.Lock()
+		tm.guard.Lock()
 		held := tm.sorted.lastLockers.Len()
-		tm.mu.Unlock()
+		tm.guard.Unlock()
 		if held != 1 {
 			t.Fatal("exhausted unbounded iterator must hold the last lock")
 		}

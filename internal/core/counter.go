@@ -15,7 +15,9 @@ import (
 // instantaneous value, which may include increments of transactions
 // that later abort.
 type Counter struct {
-	mu    sync.Mutex
+	// guard fuses the value's mutex with the commit-guard shard the
+	// compensating abort handler is registered under.
+	guard *stm.Guard
 	value int64
 }
 
@@ -26,7 +28,9 @@ type counterLocal struct {
 }
 
 // NewCounter creates a counter with an initial value.
-func NewCounter(initial int64) *Counter { return &Counter{value: initial} }
+func NewCounter(initial int64) *Counter {
+	return &Counter{guard: stm.NewGuard(), value: initial}
+}
 
 func (c *Counter) local(tx *stm.Tx) *counterLocal {
 	if l, ok := tx.Local(c).(*counterLocal); ok {
@@ -34,10 +38,8 @@ func (c *Counter) local(tx *stm.Tx) *counterLocal {
 	}
 	l := &counterLocal{}
 	tx.SetLocal(c, l)
-	tx.OnTopAbort(func() {
-		c.mu.Lock()
+	tx.OnTopAbortGuarded(c.guard, func() {
 		c.value -= l.delta
-		c.mu.Unlock()
 	})
 	return l
 }
@@ -47,9 +49,9 @@ func (c *Counter) local(tx *stm.Tx) *counterLocal {
 func (c *Counter) Add(tx *stm.Tx, delta int64) {
 	l := c.local(tx)
 	_ = tx.Open(func(o *stm.Tx) error {
-		c.mu.Lock()
+		c.guard.Lock()
 		c.value += delta
-		c.mu.Unlock()
+		c.guard.Unlock()
 		return nil
 	})
 	l.delta += delta
@@ -61,9 +63,9 @@ func (c *Counter) Add(tx *stm.Tx, delta int64) {
 func (c *Counter) Get(tx *stm.Tx) int64 {
 	var v int64
 	_ = tx.Open(func(o *stm.Tx) error {
-		c.mu.Lock()
+		c.guard.Lock()
 		v = c.value
-		c.mu.Unlock()
+		c.guard.Unlock()
 		return nil
 	})
 	tx.Thread().Clock.Tick(4)
@@ -72,8 +74,8 @@ func (c *Counter) Get(tx *stm.Tx) int64 {
 
 // Value returns the committed value outside any transaction.
 func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.guard.Lock()
+	defer c.guard.Unlock()
 	return c.value
 }
 

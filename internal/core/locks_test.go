@@ -23,8 +23,8 @@ type mapLockState struct {
 }
 
 func snapshotLocks(tm *TransactionalMap[int, int], h *stm.Handle, probeKeys []int) mapLockState {
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
+	tm.guard.Lock()
+	defer tm.guard.Unlock()
 	st := mapLockState{
 		size:  tm.sizeLockers.Holds(h),
 		empty: tm.emptyLockers.Holds(h),
@@ -195,9 +195,9 @@ func TestMapIteratorNextTakesKeyLock(t *testing.T) {
 				break
 			}
 			seen++
-			tm.mu.Lock()
+			tm.guard.Lock()
 			held := tm.key2lockers.Holds(k, h)
-			tm.mu.Unlock()
+			tm.guard.Unlock()
 			if !held {
 				t.Fatalf("iterator returned %d without its key lock", k)
 			}
@@ -314,8 +314,8 @@ func coversAny(tm *TransactionalSortedMap[int, int], tx *stm.Tx, k int) bool {
 	if !ok {
 		return false
 	}
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
+	tm.guard.Lock()
+	defer tm.guard.Unlock()
 	for _, e := range l.rangeLocks {
 		if tm.sorted.rangeLockers.Covers(e, k) {
 			return true
@@ -327,8 +327,8 @@ func coversAny(tm *TransactionalSortedMap[int, int], tx *stm.Tx, k int) bool {
 // TestQueueLocks asserts Table 8.
 func TestQueueLocks(t *testing.T) {
 	emptyHeld := func(q *TransactionalQueue[int], h *stm.Handle) bool {
-		q.mu.Lock()
-		defer q.mu.Unlock()
+		q.guard.Lock()
+		defer q.guard.Unlock()
 		return q.emptyLockers.Holds(h)
 	}
 	t.Run("peek-empty", func(t *testing.T) {

@@ -21,9 +21,11 @@
 //     (compensation for the open-nested lock acquisitions).
 //
 // The open-nested regions execute as tx.Open children whose body is a
-// short critical section on the instance's mutex; this is the
-// substitution for the paper's low-level open-nested hardware
-// transactions described in DESIGN.md §4 — immediate global visibility,
+// short critical section on the instance's commit guard (stm.Guard) —
+// the same guard its handlers are registered under, so lock-table
+// reads stay atomic with respect to commits; this is the substitution
+// for the paper's low-level open-nested hardware transactions
+// described in DESIGN.md §4 — immediate global visibility,
 // compensation via abort handlers, and lock ownership by the top-level
 // transaction are all preserved.
 //
@@ -38,8 +40,6 @@
 package core
 
 import (
-	"sync"
-
 	"tcc/internal/collections"
 	"tcc/internal/semlock"
 	"tcc/internal/stm"
@@ -106,10 +106,16 @@ type sortedExt[K comparable, V any] struct {
 // §3.1). It offers the same operations as the underlying Map interface
 // and can serve as a drop-in replacement.
 type TransactionalMap[K comparable, V any] struct {
-	// mu guards the wrapped map and the lock tables; every critical
-	// section is short and never blocks on other instances, playing the
-	// role of the paper's low-level open-nested transactions.
-	mu sync.Mutex
+	// guard is this instance's shard of the commit guard, fused with
+	// the mutex that protects the wrapped map and the lock tables:
+	// every open-nested critical section is short, locks exactly one
+	// guard, and never blocks on other instances, playing the role of
+	// the paper's low-level open-nested transactions. Commit and abort
+	// handlers are registered under it (OnTopCommitGuarded /
+	// OnTopAbortGuarded), so the STM holds it across the handler
+	// window and transactions on disjoint instances commit in
+	// parallel.
+	guard *stm.Guard
 	// m holds the committed state (Table 3: "the underlying Map
 	// instance").
 	m collections.Map[K, V]
@@ -146,6 +152,7 @@ type TransactionalMap[K comparable, V any] struct {
 // all subsequent access must go through the wrapper.
 func NewTransactionalMap[K comparable, V any](m collections.Map[K, V]) *TransactionalMap[K, V] {
 	tm := &TransactionalMap[K, V]{
+		guard:        stm.NewGuard(),
 		m:            m,
 		key2lockers:  semlock.NewKeyTable[K](),
 		sizeLockers:  semlock.NewOwnerSet(),
@@ -161,6 +168,7 @@ func NewTransactionalMap[K comparable, V any](m collections.Map[K, V]) *Transact
 // specific structures.
 func (tm *TransactionalMap[K, V]) SetName(name string) {
 	tm.name = name
+	tm.guard.SetLabel(name)
 	tm.reasonKey = name + ": key conflict"
 	tm.reasonSize = name + ": size conflict"
 	tm.reasonEmpty = name + ": emptiness conflict"
@@ -171,6 +179,10 @@ func (tm *TransactionalMap[K, V]) SetName(name string) {
 
 // Name returns the label set by SetName.
 func (tm *TransactionalMap[K, V]) Name() string { return tm.name }
+
+// Guard returns the instance's commit guard, for code that composes
+// its own guarded handlers with this collection's commit window.
+func (tm *TransactionalMap[K, V]) Guard() *stm.Guard { return tm.guard }
 
 // SetOpCost overrides the abstract cycle cost charged per operation.
 func (tm *TransactionalMap[K, V]) SetOpCost(c uint64) { tm.opCost = c }
@@ -211,24 +223,22 @@ func (tm *TransactionalMap[K, V]) local(tx *stm.Tx) *mapLocal[K, V] {
 	tx.SetLocal(tm, l)
 	h := tx.Handle()
 	th := tx.Thread()
-	tx.OnTopCommit(func() {
-		tm.mu.Lock()
+	// The handler bodies take no lock themselves: the commit/rollback
+	// protocol already holds tm.guard for the whole handler window.
+	tx.OnTopCommitGuarded(tm.guard, func() {
 		n := len(l.storeBuffer)
 		tm.applyLocked(l, h)
-		tm.mu.Unlock()
 		th.DeferTick(tm.opCost * uint64(1+n))
 	})
-	tx.OnTopAbort(func() {
-		tm.mu.Lock()
+	tx.OnTopAbortGuarded(tm.guard, func() {
 		tm.releaseLocked(l, h)
-		tm.mu.Unlock()
 		th.DeferTick(tm.opCost)
 	})
 	return l
 }
 
 // lockKeyLocked takes (idempotently) the key lock for k on behalf of h.
-// Caller holds tm.mu.
+// Caller holds tm.guard.
 func (tm *TransactionalMap[K, V]) lockKeyLocked(l *mapLocal[K, V], h semlock.Owner, k K) {
 	if _, ok := l.keyLocks[k]; ok {
 		return
@@ -253,8 +263,8 @@ func (tm *TransactionalMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
 	var v V
 	var present bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.mu.Lock()
-		defer tm.mu.Unlock()
+		tm.guard.Lock()
+		defer tm.guard.Unlock()
 		tm.lockKeyLocked(l, o.Handle(), k)
 		v, present = tm.m.Get(k)
 		return nil
@@ -360,8 +370,8 @@ func (tm *TransactionalMap[K, V]) readCommittedWrite(tx *stm.Tx, l *mapLocal[K, 
 	var v V
 	var present bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.mu.Lock()
-		defer tm.mu.Unlock()
+		tm.guard.Lock()
+		defer tm.guard.Unlock()
 		h := o.Handle()
 		tm.lockKeyLocked(l, h, k)
 		if forWrite && tm.eagerWriteCheck {
@@ -376,7 +386,7 @@ func (tm *TransactionalMap[K, V]) readCommittedWrite(tx *stm.Tx, l *mapLocal[K, 
 
 // resolveBlindLocked pins down the committed presence of every blindly
 // written key (taking its key lock) so the buffer's net size effect is
-// well defined. Caller holds tm.mu.
+// well defined. Caller holds tm.guard.
 func (tm *TransactionalMap[K, V]) resolveBlindLocked(l *mapLocal[K, V], h semlock.Owner) {
 	for k, w := range l.storeBuffer {
 		if w.knownCommitted == nil {
@@ -388,7 +398,7 @@ func (tm *TransactionalMap[K, V]) resolveBlindLocked(l *mapLocal[K, V], h semloc
 }
 
 // deltaLocked is the Table 3 delta: the buffer's net change to the
-// map's size. Caller holds tm.mu and has resolved blind writes.
+// map's size. Caller holds tm.guard and has resolved blind writes.
 func (tm *TransactionalMap[K, V]) deltaLocked(l *mapLocal[K, V]) int {
 	d := 0
 	for _, w := range l.storeBuffer {
@@ -410,8 +420,8 @@ func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
 	l := tm.local(tx)
 	n := 0
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.mu.Lock()
-		defer tm.mu.Unlock()
+		tm.guard.Lock()
+		defer tm.guard.Unlock()
 		h := o.Handle()
 		tm.sizeLockers.Lock(h)
 		l.sizeLocked = true
@@ -435,8 +445,8 @@ func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
 	l := tm.local(tx)
 	n := 0
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.mu.Lock()
-		defer tm.mu.Unlock()
+		tm.guard.Lock()
+		defer tm.guard.Unlock()
 		h := o.Handle()
 		tm.emptyLockers.Lock(h)
 		l.emptyLocked = true
@@ -451,7 +461,7 @@ func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
 // applyLocked is the commit handler's body: apply the buffer to the
 // underlying map, violate conflicting semantic lock holders (Table 2's
 // "Write Conflict" column), and release this transaction's locks.
-// Caller holds tm.mu.
+// Caller holds tm.guard.
 func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner) {
 	oldSize := tm.m.Size()
 	var oldFirst, oldLast *K
@@ -495,7 +505,7 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 }
 
 // endpointsLocked returns the committed first and last keys (nil when
-// the map is empty). Caller holds tm.mu; only valid for sorted maps.
+// the map is empty). Caller holds tm.guard; only valid for sorted maps.
 func (tm *TransactionalMap[K, V]) endpointsLocked() (first, last *K) {
 	if f, ok := tm.sorted.sm.FirstKey(); ok {
 		first = &f
@@ -519,7 +529,7 @@ func (tm *TransactionalMap[K, V]) sameKey(a, b *K) bool {
 // releaseLocked releases every semantic lock held by this transaction
 // on this instance and clears its local state; it is both the tail of
 // the commit handler and the whole of the abort handler. Caller holds
-// tm.mu.
+// tm.guard.
 func (tm *TransactionalMap[K, V]) releaseLocked(l *mapLocal[K, V], h semlock.Owner) {
 	for k := range l.keyLocks {
 		tm.key2lockers.Unlock(k, h)

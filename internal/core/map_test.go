@@ -146,15 +146,15 @@ func TestMapLocksHeldDuringTxReleasedAfter(t *testing.T) {
 	atomically(t, th, func(tx *stm.Tx) {
 		h = tx.Handle()
 		tm.Get(tx, 7)
-		tm.mu.Lock()
+		tm.guard.Lock()
 		held := tm.key2lockers.Holds(7, h)
-		tm.mu.Unlock()
+		tm.guard.Unlock()
 		if !held {
 			t.Error("key lock not held during transaction")
 		}
 	})
-	tm.mu.Lock()
-	defer tm.mu.Unlock()
+	tm.guard.Lock()
+	defer tm.guard.Unlock()
 	if tm.key2lockers.Locked(7) {
 		t.Error("key lock survived commit")
 	}
@@ -260,9 +260,9 @@ func TestMapIteratorMergesBufferAndCommitted(t *testing.T) {
 			}
 		}
 		// Full enumeration reveals the size: the size lock must be held.
-		tm.mu.Lock()
+		tm.guard.Lock()
 		n := tm.sizeLockers.Len()
-		tm.mu.Unlock()
+		tm.guard.Unlock()
 		if n != 1 {
 			t.Fatal("full enumeration did not take the size lock")
 		}
@@ -283,9 +283,9 @@ func TestMapIteratorEarlyStopTakesNoSizeLock(t *testing.T) {
 			count++
 			return count < 3
 		})
-		tm.mu.Lock()
+		tm.guard.Lock()
 		n := tm.sizeLockers.Len()
-		tm.mu.Unlock()
+		tm.guard.Unlock()
 		if n != 0 {
 			t.Error("partial enumeration took the size lock")
 		}

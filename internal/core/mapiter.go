@@ -47,8 +47,8 @@ func (tm *TransactionalMap[K, V]) Iterator(tx *stm.Tx) *MapIterator[K, V] {
 	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 2) and documented not to outlive tx
 	it := &MapIterator[K, V]{tm: tm, tx: tx, l: l}
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.mu.Lock()
-		defer tm.mu.Unlock()
+		tm.guard.Lock()
+		defer tm.guard.Unlock()
 		it.snapshot = tm.m.Keys()
 		inSnapshot := make(map[K]struct{}, len(it.snapshot))
 		for _, k := range it.snapshot {
@@ -78,8 +78,8 @@ func (it *MapIterator[K, V]) advance() (K, V, bool) {
 		var val V
 		var live bool
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.mu.Lock()
-			defer tm.mu.Unlock()
+			tm.guard.Lock()
+			defer tm.guard.Unlock()
 			tm.lockKeyLocked(l, o.Handle(), k)
 			if w, ok := l.storeBuffer[k]; ok {
 				val, live = w.val, !w.removed
@@ -105,8 +105,8 @@ func (it *MapIterator[K, V]) advance() (K, V, bool) {
 			continue
 		}
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.mu.Lock()
-			defer tm.mu.Unlock()
+			tm.guard.Lock()
+			defer tm.guard.Unlock()
 			tm.lockKeyLocked(l, o.Handle(), k)
 			return nil
 		})
@@ -131,8 +131,8 @@ func (it *MapIterator[K, V]) HasNext() bool {
 		it.done = true
 		tm, l := it.tm, it.l
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.mu.Lock()
-			defer tm.mu.Unlock()
+			tm.guard.Lock()
+			defer tm.guard.Unlock()
 			tm.sizeLockers.Lock(o.Handle())
 			l.sizeLocked = true
 			return nil

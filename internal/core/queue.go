@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"tcc/internal/collections"
 	"tcc/internal/semlock"
 	"tcc/internal/stm"
@@ -21,7 +19,10 @@ import (
 // observed emptiness via a null Peek/Poll is aborted by a commit that
 // makes the queue non-empty.
 type TransactionalQueue[T any] struct {
-	mu sync.Mutex
+	// guard is the instance's commit-guard shard, fused with the mutex
+	// for the wrapped queue and its empty-lock table (see
+	// TransactionalMap.guard).
+	guard *stm.Guard
 	// q holds the committed state (Table 9: "the underlying Queue
 	// instance").
 	q collections.Queue[T]
@@ -45,6 +46,7 @@ type queueLocal[T any] struct {
 // ownership.
 func NewTransactionalQueue[T any](q collections.Queue[T]) *TransactionalQueue[T] {
 	tq := &TransactionalQueue[T]{
+		guard:        stm.NewGuard(),
 		q:            q,
 		emptyLockers: semlock.NewOwnerSet(),
 		opCost:       DefaultOpCost,
@@ -57,12 +59,16 @@ func NewTransactionalQueue[T any](q collections.Queue[T]) *TransactionalQueue[T]
 // profiles.
 func (tq *TransactionalQueue[T]) SetName(name string) {
 	tq.name = name
+	tq.guard.SetLabel(name)
 	tq.reasonNotEmpty = name + ": no longer empty"
 	tq.reasonRefill = name + ": refilled on abort"
 }
 
 // Name returns the label set by SetName.
 func (tq *TransactionalQueue[T]) Name() string { return tq.name }
+
+// Guard returns the instance's commit guard.
+func (tq *TransactionalQueue[T]) Guard() *stm.Guard { return tq.guard }
 
 // SetOpCost overrides the abstract cycle cost charged per operation.
 func (tq *TransactionalQueue[T]) SetOpCost(c uint64) { tq.opCost = c }
@@ -75,8 +81,8 @@ func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
 	tx.SetLocal(tq, l)
 	h := tx.Handle()
 	th := tx.Thread()
-	tx.OnTopCommit(func() {
-		tq.mu.Lock()
+	// Handler bodies run with tq.guard already held by the protocol.
+	tx.OnTopCommitGuarded(tq.guard, func() {
 		wasEmpty := tq.q.Size() == 0
 		for _, v := range l.addBuffer {
 			tq.q.Enqueue(v)
@@ -90,11 +96,9 @@ func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
 		}
 		n := len(l.addBuffer)
 		l.addBuffer, l.removeBuffer, l.emptyLocked = nil, nil, false
-		tq.mu.Unlock()
 		th.DeferTick(tq.opCost * uint64(1+n))
 	})
-	tx.OnTopAbort(func() {
-		tq.mu.Lock()
+	tx.OnTopAbortGuarded(tq.guard, func() {
 		wasEmpty := tq.q.Size() == 0
 		// Compensation: return everything this transaction dequeued.
 		for _, v := range l.removeBuffer {
@@ -108,7 +112,6 @@ func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
 		}
 		n := len(l.removeBuffer)
 		l.addBuffer, l.removeBuffer, l.emptyLocked = nil, nil, false
-		tq.mu.Unlock()
 		th.DeferTick(tq.opCost * uint64(1+n))
 	})
 	return l
@@ -136,8 +139,8 @@ func (tq *TransactionalQueue[T]) tryDequeue(tx *stm.Tx, l *queueLocal[T], lockIf
 	var out T
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tq.mu.Lock()
-		defer tq.mu.Unlock()
+		tq.guard.Lock()
+		defer tq.guard.Unlock()
 		if v, got := tq.q.Dequeue(); got {
 			l.removeBuffer = append(l.removeBuffer, v)
 			out, ok = v, true
@@ -195,8 +198,8 @@ func (tq *TransactionalQueue[T]) Peek(tx *stm.Tx) (T, bool) {
 	var out T
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tq.mu.Lock()
-		defer tq.mu.Unlock()
+		tq.guard.Lock()
+		defer tq.guard.Unlock()
 		if v, got := tq.q.Peek(); got {
 			out, ok = v, true
 			return nil
@@ -216,7 +219,7 @@ func (tq *TransactionalQueue[T]) Peek(tx *stm.Tx) (T, bool) {
 // CommittedSize returns the size of the committed queue, for inspection
 // after transactions have quiesced.
 func (tq *TransactionalQueue[T]) CommittedSize() int {
-	tq.mu.Lock()
-	defer tq.mu.Unlock()
+	tq.guard.Lock()
+	defer tq.guard.Unlock()
 	return tq.q.Size()
 }

@@ -111,16 +111,16 @@ func TestQueueEmptyPollTakesEmptyLock(t *testing.T) {
 		if _, ok := q.Poll(tx); ok {
 			t.Error("poll on empty queue succeeded")
 		}
-		q.mu.Lock()
+		q.guard.Lock()
 		n := q.emptyLockers.Len()
-		q.mu.Unlock()
+		q.guard.Unlock()
 		if n != 1 {
 			t.Error("null poll did not take the empty lock")
 		}
 	})
-	q.mu.Lock()
+	q.guard.Lock()
 	n := q.emptyLockers.Len()
-	q.mu.Unlock()
+	q.guard.Unlock()
 	if n != 0 {
 		t.Error("empty lock leaked after commit")
 	}

@@ -21,6 +21,7 @@ type TransactionalSortedMap[K comparable, V any] struct {
 func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, V]) *TransactionalSortedMap[K, V] {
 	t := &TransactionalSortedMap[K, V]{
 		TransactionalMap: TransactionalMap[K, V]{
+			guard:        stm.NewGuard(),
 			m:            sm,
 			key2lockers:  semlock.NewKeyTable[K](),
 			sizeLockers:  semlock.NewOwnerSet(),
@@ -44,7 +45,7 @@ func (t *TransactionalSortedMap[K, V]) Compare(a, b K) int { return t.sorted.sm.
 // bufferCeilingLocked returns the smallest buffered non-removed key
 // >= *k (> *k when strict); k == nil starts from the buffer's minimum.
 // It walks the sortedStoreBuffer index (Table 6), skipping removal
-// markers. Caller holds t.mu.
+// markers. Caller holds t.guard.
 func (t *TransactionalSortedMap[K, V]) bufferCeilingLocked(l *mapLocal[K, V], k *K, strict bool) (K, bool) {
 	var cand K
 	var ok bool
@@ -90,7 +91,7 @@ func (t *TransactionalSortedMap[K, V]) bufferFloorLocked(l *mapLocal[K, V], k *K
 
 // mergedFirstLocked returns the smallest live key as seen by this
 // transaction: the smallest committed key that is not buffered-removed,
-// merged with the smallest buffered addition. Caller holds t.mu.
+// merged with the smallest buffered addition. Caller holds t.guard.
 func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -116,7 +117,7 @@ func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, 
 }
 
 // mergedLastLocked is the mirror of mergedFirstLocked. Caller holds
-// t.mu.
+// t.guard.
 func (t *TransactionalSortedMap[K, V]) mergedLastLocked(l *mapLocal[K, V]) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -150,8 +151,8 @@ func (t *TransactionalSortedMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
 	var k K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		t.guard.Lock()
+		defer t.guard.Unlock()
 		t.sorted.firstLockers.Lock(o.Handle())
 		l.firstLocked = true
 		k, ok = t.mergedFirstLocked(l)
@@ -167,8 +168,8 @@ func (t *TransactionalSortedMap[K, V]) LastKey(tx *stm.Tx) (K, bool) {
 	var k K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		t.guard.Lock()
+		defer t.guard.Unlock()
 		t.sorted.lastLockers.Lock(o.Handle())
 		l.lastLocked = true
 		k, ok = t.mergedLastLocked(l)
@@ -217,8 +218,8 @@ func (it *SortedIterator[K, V]) advance() (K, V, bool) {
 	var outV V
 	found := false
 	_ = it.tx.Open(func(o *stm.Tx) error {
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		t.guard.Lock()
+		defer t.guard.Unlock()
 		h := o.Handle()
 		if it.lock == nil {
 			it.lock = &semlock.RangeEntry[K]{Owner: h}
@@ -330,8 +331,8 @@ func (it *SortedIterator[K, V]) HasNext() bool {
 		it.done = true
 		t, l := it.t, it.l
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			t.mu.Lock()
-			defer t.mu.Unlock()
+			t.guard.Lock()
+			defer t.guard.Unlock()
 			if it.hi == nil {
 				// "hasNext is false" on an unbounded iterator reveals
 				// the last key (Table 5).

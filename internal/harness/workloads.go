@@ -180,6 +180,71 @@ func TestMapConfigs(p MapBenchParams) []Config {
 	}
 }
 
+// DisjointMapConfigs builds the commit-guard sharding pair: the same
+// 80/10/10 operation mix run against one shared TransactionalMap
+// (every commit carries the same guard, and the keyspace is shared, so
+// transactions both conflict and queue) versus per-worker private maps
+// (pairwise-disjoint guard footprints and keyspaces, so commits neither
+// conflict nor serialize). The gap between the two lines at high CPU
+// counts is the workload-level view of what the per-collection guards
+// buy: under the old global commit guard the per-worker line was still
+// bounded by one lock shared with everyone else's handlers.
+func DisjointMapConfigs(p MapBenchParams) []Config {
+	// One map per possible worker; DefaultCPUs tops out at 32.
+	const maxWorkers = 64
+	runOp := func(w *Worker, tm *core.TransactionalMap[int, int], op opKind, k int) {
+		MustAtomic(w.Thread, func(tx *stm.Tx) error {
+			w.Compute(p.Compute / 2)
+			switch op {
+			case opRead:
+				tm.Get(tx, k)
+			case opPut:
+				tm.Put(tx, k, k)
+			default:
+				tm.Remove(tx, k)
+			}
+			w.Compute(p.Compute / 2)
+			return nil
+		})
+	}
+	newMap := func(th *stm.Thread) *core.TransactionalMap[int, int] {
+		tm := core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]())
+		MustAtomic(th, func(tx *stm.Tx) error {
+			for i := 0; i < p.Prepopulate; i++ {
+				tm.Put(tx, i, i)
+			}
+			return nil
+		})
+		return tm
+	}
+	return []Config{
+		{
+			Name: "Shared TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := newMap(setupThread())
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					runOp(w, tm, op, k)
+				}
+			},
+		},
+		{
+			Name: "Per-worker TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				th := setupThread()
+				maps := make([]*core.TransactionalMap[int, int], maxWorkers)
+				for i := range maps {
+					maps[i] = newMap(th)
+				}
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					runOp(w, maps[w.Index%maxWorkers], op, k)
+				}
+			},
+		},
+	}
+}
+
 // TestSortedMapConfigs builds the Figure 2 configurations: lookups are
 // replaced by subMap range scans that take the median key of the
 // returned range (paper §6.2).

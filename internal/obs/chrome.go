@@ -178,6 +178,11 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			te.Cat = "tx"
 			te.S = "t"
 			te.Args.Writes = e.Writes
+		case KindGuardWait:
+			te.Ph = "i"
+			te.Cat = "guard"
+			te.S = "t"
+			te.Args.Where = e.Where
 		default:
 			te.Ph = "i"
 			te.S = "t"

@@ -58,11 +58,17 @@ const (
 	// KindBackoff marks a contention-manager pause; Dur is the cycles
 	// waited, Attempt the retry count that provoked it.
 	KindBackoff
+	// KindGuardWait marks a commit or rollback that blocked acquiring
+	// its commit-guard footprint: commit-serialization lost work. Where
+	// names the last contended guard, Waits counts how many guards of
+	// the footprint were contended. Emitted after the guards are
+	// released, once per contended commit/rollback.
+	KindGuardWait
 )
 
 var kindNames = [...]string{
 	"tx.begin", "tx.commit", "tx.abort", "tx.violated", "tx.user-abort",
-	"nested.retry", "open.commit", "open.retry", "backoff",
+	"nested.retry", "open.commit", "open.retry", "backoff", "guard.wait",
 }
 
 func (k Kind) String() string {
@@ -85,15 +91,15 @@ type Event struct {
 	Reads    int    // read-set size (commit events)
 	Writes   int    // write-set size (commit events)
 	Handlers int    // commit/abort handlers attached (commit events)
-	Where    string // conflicting Var label ("HashMap.size", "var#12", ...)
+	Waits    int    // contended guards in the footprint (guard-wait events)
+	Where    string // conflicting Var or guard label ("HashMap.size", ...)
 	Reason   string // mechanical cause or violation reason
 }
 
 // Tracer receives every event. Implementations must be safe for
 // concurrent use and must not call back into the STM: Trace runs on
-// the transaction's thread between attempts (never while the global
-// commit guard is held — enforced by the stmlint trace-in-commit
-// rule).
+// the transaction's thread between attempts (never while a commit
+// guard is held — enforced by the stmlint trace-in-commit rule).
 type Tracer interface {
 	Trace(e Event)
 }

@@ -22,6 +22,7 @@ type Profile struct {
 	begins, commits, aborts, violations, userAborts atomic.Uint64
 	nestedRetries, openCommits, openRetries         atomic.Uint64
 	backoffs, backoffCycles, lostCycles             atomic.Uint64
+	guardWaits                                      atomic.Uint64
 
 	latency Hist // committed-tx latency in cycles (incl. retries+backoff)
 	retries Hist // retries per committed tx
@@ -31,10 +32,11 @@ type Profile struct {
 }
 
 type hotspot struct {
-	kind          string // "var" or "semantic"
+	kind          string // "var", "semantic" or "guard"
 	rollbacks     uint64 // top-level aborts + violations attributed here
 	nestedRetries uint64
 	openRetries   uint64
+	guardWaits    uint64 // contended commit-guard acquisitions
 	lostCycles    uint64
 }
 
@@ -83,6 +85,9 @@ func (p *Profile) Trace(e Event) {
 	case KindBackoff:
 		p.backoffs.Add(1)
 		p.backoffCycles.Add(e.Dur)
+	case KindGuardWait:
+		p.guardWaits.Add(uint64(e.Waits))
+		p.noteGuardWait(e.Where, uint64(e.Waits))
 	}
 }
 
@@ -116,6 +121,23 @@ func (p *Profile) note(where, kind string, lost uint64, class rollbackClass) {
 	p.mu.Unlock()
 }
 
+// noteGuardWait charges contended commit-guard acquisitions to the
+// guard's heatmap row, so commit-serialization shows up next to the
+// conflict hotspots it usually accompanies.
+func (p *Profile) noteGuardWait(where string, waits uint64) {
+	if where == "" {
+		where = unattributed
+	}
+	p.mu.Lock()
+	h := p.spot[where]
+	if h == nil {
+		h = &hotspot{kind: "guard"}
+		p.spot[where] = h
+	}
+	h.guardWaits += waits
+	p.mu.Unlock()
+}
+
 // Hotspot is one heatmap row: a Var or semantic lock ranked by the
 // rollbacks it caused.
 type Hotspot struct {
@@ -124,6 +146,7 @@ type Hotspot struct {
 	Rollbacks     uint64  `json:"rollbacks"`
 	NestedRetries uint64  `json:"nested_retries,omitempty"`
 	OpenRetries   uint64  `json:"open_retries,omitempty"`
+	GuardWaits    uint64  `json:"guard_waits,omitempty"`
 	LostCycles    uint64  `json:"lost_cycles"`
 	Share         float64 `json:"share"` // fraction of attributed rollbacks
 }
@@ -140,6 +163,7 @@ type ProfileReport struct {
 	OpenRetries   uint64       `json:"open_retries,omitempty"`
 	Backoffs      uint64       `json:"backoffs,omitempty"`
 	BackoffCycles uint64       `json:"backoff_cycles,omitempty"`
+	GuardWaits    uint64       `json:"guard_waits,omitempty"`
 	LostCycles    uint64       `json:"lost_cycles"`
 	Hotspots      []Hotspot    `json:"hotspots,omitempty"`
 	Latency       HistSnapshot `json:"latency"`
@@ -160,6 +184,7 @@ func (p *Profile) Report() *ProfileReport {
 		OpenRetries:   p.openRetries.Load(),
 		Backoffs:      p.backoffs.Load(),
 		BackoffCycles: p.backoffCycles.Load(),
+		GuardWaits:    p.guardWaits.Load(),
 		LostCycles:    p.lostCycles.Load(),
 		Latency:       p.latency.Snapshot(),
 		Retries:       p.retries.Snapshot(),
@@ -176,6 +201,7 @@ func (p *Profile) Report() *ProfileReport {
 			Rollbacks:     h.rollbacks,
 			NestedRetries: h.nestedRetries,
 			OpenRetries:   h.openRetries,
+			GuardWaits:    h.guardWaits,
 			LostCycles:    h.lostCycles,
 		}
 		if total > 0 {
@@ -224,6 +250,9 @@ func (r *ProfileReport) Format(top int) string {
 	if r.Backoffs > 0 {
 		fmt.Fprintf(&b, " backoff=%d cycles/%d waits", r.BackoffCycles, r.Backoffs)
 	}
+	if r.GuardWaits > 0 {
+		fmt.Fprintf(&b, " guard-waits=%d", r.GuardWaits)
+	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "latency(cycles): %s   retries/commit: %s\n",
 		r.Latency.String(), r.Retries.String())
@@ -240,6 +269,9 @@ func (r *ProfileReport) Format(top int) string {
 		extra := ""
 		if h.NestedRetries > 0 || h.OpenRetries > 0 {
 			extra = fmt.Sprintf("  (nested=%d open=%d)", h.NestedRetries, h.OpenRetries)
+		}
+		if h.GuardWaits > 0 {
+			extra += fmt.Sprintf("  (guard-waits=%d)", h.GuardWaits)
 		}
 		fmt.Fprintf(&b, "%-32s %-9s %9d  %5.1f%%  %11d%s\n",
 			h.Label, h.Kind, h.Rollbacks, h.Share*100, h.LostCycles, extra)

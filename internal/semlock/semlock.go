@@ -15,6 +15,7 @@ package semlock
 
 import (
 	"fmt"
+	"sort"
 
 	"tcc/internal/stm"
 )
@@ -22,6 +23,21 @@ import (
 // Owner identifies a lock-holding top-level transaction; violating an
 // owner aborts that transaction (paper §4, program-directed abort).
 type Owner = *stm.Handle
+
+// orderedOwners copies the owners in set into buf sorted ascending by
+// Handle.ID — the canonical violation order. Go map iteration would
+// randomize the order in which victims are violated, and with it the
+// event order of every trace taken under contention; sorting by the
+// process-global handle id keeps deterministic-replay runs
+// byte-identical. Handles created outside a transaction have id 0 and
+// sort together; their relative order is unspecified (tests only).
+func orderedOwners(buf []Owner, set map[Owner]struct{}) []Owner {
+	for o := range set {
+		buf = append(buf, o)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].ID() < buf[j].ID() })
+	return buf
+}
 
 // OwnerSet is a single abstract lock — the size lock, the empty lock,
 // or a first/last endpoint lock — held by any number of readers.
@@ -49,11 +65,12 @@ func (s *OwnerSet) Holds(o Owner) bool {
 // Len returns the number of holders.
 func (s *OwnerSet) Len() int { return len(s.owners) }
 
-// ViolateOthers aborts every holder other than self and returns how
-// many Violate calls actually landed on still-active transactions.
+// ViolateOthers aborts every holder other than self — in ascending
+// handle-id order, for deterministic traces — and returns how many
+// Violate calls actually landed on still-active transactions.
 func (s *OwnerSet) ViolateOthers(self Owner, reason string) int {
 	n := 0
-	for o := range s.owners {
+	for _, o := range orderedOwners(make([]Owner, 0, len(s.owners)), s.owners) {
 		if o == self {
 			continue
 		}
@@ -124,7 +141,7 @@ func (t *KeyTable[K]) Locked(k K) bool { return len(t.lockers[k]) > 0 }
 func (t *KeyTable[K]) ViolateOthers(k K, self Owner, reason string) int {
 	n := 0
 	detailed := ""
-	for o := range t.lockers[k] {
+	for _, o := range orderedOwners(make([]Owner, 0, len(t.lockers[k])), t.lockers[k]) {
 		if o == self {
 			continue
 		}
@@ -199,14 +216,26 @@ func (t *RangeTable[K]) Covers(e *RangeEntry[K], k K) bool {
 }
 
 // ViolateCovering aborts the owner of every range containing k, other
-// than self.
+// than self, in ascending owner handle-id order (see orderedOwners).
 func (t *RangeTable[K]) ViolateCovering(k K, self Owner, reason string) int {
-	n := 0
+	victims := make([]Owner, 0, len(t.entries))
 	for e := range t.entries {
 		if e.Owner == self || !t.Covers(e, k) {
 			continue
 		}
-		if e.Owner.Violate(reason) {
+		victims = append(victims, e.Owner)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID() < victims[j].ID() })
+	n := 0
+	var prev Owner
+	for _, o := range victims {
+		if o == prev {
+			// Several of one owner's ranges may cover k; one Violate is
+			// enough and keeps the count meaningful.
+			continue
+		}
+		prev = o
+		if o.Violate(reason) {
 			n++
 		}
 	}

@@ -1,0 +1,148 @@
+package stm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// A Guard is one shard of the commit guard: a mutex with a unique
+// 64-bit identity that serializes the window from a transaction's point
+// of no return through the completion of the handlers registered under
+// it. On the paper's TCC hardware a commit is atomic with the conflict
+// broadcast that violates other processors; without a guard a reader
+// holding a semantic lock could slip its own commit between a writer's
+// memory commit and the writer's handler-performed semantic conflict
+// detection, breaking serializability. That argument only involves the
+// transactions sharing one collection instance, so each transactional
+// collection owns a Guard and registers its handlers under it
+// (OnCommitGuarded / OnAbortGuarded): transactions with disjoint guard
+// footprints commit — and run their handler windows — in parallel.
+//
+// Ordering invariant: a commit or rollback acquires its whole guard
+// set in ascending id order before anything else, then try-locks the
+// write-set lockwords (non-blocking, so they cannot deadlock against
+// the guards); the collections' own open-nested critical sections lock
+// exactly one guard at a time. Together these make the protocol
+// deadlock-free.
+//
+// Handler bodies are short critical sections and must not charge
+// virtual time while a guard is held (they use Thread.DeferTick), so on
+// the simulator guards are never contended and on real hardware they
+// serialize only the brief commit windows of transactions that share a
+// collection.
+type Guard struct {
+	id    uint64
+	label string
+	mu    sync.Mutex
+}
+
+// guardIDs hands out process-global guard identities, starting after
+// the fallback guard's id 1.
+var guardIDs atomic.Uint64
+
+// fallbackGuard serializes the handler windows of transactions that
+// register handlers without naming a guard (tx.OnCommit / tx.OnAbort):
+// they keep the old global-guard semantics, conservatively correct for
+// handler-only users that predate guard footprints.
+var fallbackGuard = NewGuard()
+
+// NewGuard creates a guard with a fresh identity. Transactional
+// collections create one per instance at construction time.
+func NewGuard() *Guard {
+	return &Guard{id: guardIDs.Add(1)}
+}
+
+// ID returns the guard's unique identity (the canonical acquisition
+// order is ascending ID).
+func (g *Guard) ID() uint64 { return g.id }
+
+// SetLabel names the guard in observability output (guard-wait events);
+// call during setup, before concurrent use.
+func (g *Guard) SetLabel(label string) { g.label = label }
+
+// Label returns the label set by SetLabel, or "guard#<id>".
+func (g *Guard) Label() string {
+	if g.label != "" {
+		return g.label
+	}
+	return "guard#" + utoa(g.id)
+}
+
+// Lock acquires the guard outside the commit protocol — the
+// collections' open-nested critical sections, which fuse the mutex
+// that protects the wrapped structure and its lock tables with the
+// guard their handlers run under, so lock-table reads stay atomic with
+// respect to commits (the paper's low-level open-nested transactions).
+func (g *Guard) Lock() { g.mu.Lock() }
+
+// Unlock releases the guard.
+func (g *Guard) Unlock() { g.mu.Unlock() }
+
+// addGuard appends g to set if not already present (guard sets are a
+// handful of entries, so the linear scan beats any map). It returns the
+// possibly-grown slice.
+func addGuard(set []*Guard, g *Guard) []*Guard {
+	for _, have := range set {
+		if have == g {
+			return set
+		}
+	}
+	return append(set, g)
+}
+
+// sortGuards orders buf ascending by id and removes duplicates in
+// place (duplicates arise when levels merge), returning the compacted
+// slice. Insertion sort: footprints are tiny.
+func sortGuards(buf []*Guard) []*Guard {
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].id < buf[j-1].id; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	out := buf[:0]
+	for i, g := range buf {
+		if i > 0 && g == buf[i-1] {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// acquireGuards locks every guard in gs, which must be sorted by id
+// (deadlock freedom). The TryLock probe is only contention detection
+// for the guard-wait event: attribution is recorded with plain field
+// stores here and emitted after the guards are released.
+func acquireGuards(tx *Tx, gs []*Guard) {
+	for _, g := range gs {
+		if g.mu.TryLock() {
+			continue
+		}
+		tx.noteGuardWait(g)
+		g.mu.Lock()
+	}
+}
+
+// releaseGuards unlocks every guard in gs (any order; nothing blocks
+// on release).
+func releaseGuards(gs []*Guard) {
+	for _, g := range gs {
+		g.mu.Unlock()
+	}
+}
+
+// utoa formats a uint64 without importing strconv into the hot-path
+// file set (labels are resolved at emission time only).
+func utoa(u uint64) string {
+	if u == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for u > 0 {
+		i--
+		b[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,269 @@
+package stm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcc/internal/obs"
+)
+
+var errRollback = errors.New("roll back")
+
+func TestGuardIDsUniqueAndSorted(t *testing.T) {
+	a, b, c := NewGuard(), NewGuard(), NewGuard()
+	if a.ID() == b.ID() || b.ID() == c.ID() || a.ID() == c.ID() {
+		t.Fatalf("guard ids not unique: %d %d %d", a.ID(), b.ID(), c.ID())
+	}
+	buf := []*Guard{c, a, b, a, c}
+	buf = sortGuards(buf)
+	if len(buf) != 3 {
+		t.Fatalf("sortGuards kept %d entries, want 3 (dedup)", len(buf))
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i-1].id >= buf[i].id {
+			t.Fatalf("sortGuards not ascending at %d: %d >= %d", i, buf[i-1].id, buf[i].id)
+		}
+	}
+}
+
+func TestAddGuardDedups(t *testing.T) {
+	g := NewGuard()
+	set := addGuard(nil, g)
+	set = addGuard(set, g)
+	if len(set) != 1 {
+		t.Fatalf("addGuard duplicated an entry: %d", len(set))
+	}
+}
+
+// TestGuardFreeRollbackTakesNoGuard is the rollback bugfix's regression
+// test: a transaction with no abort handlers — even one with a commit
+// handler, whose guard is irrelevant once the transaction is rolling
+// back — must abort without acquiring any guard. The old global-guard
+// code locked commitMu whenever *any* handler existed; here every guard
+// in sight is held hostage by another goroutine, so a rollback that
+// touched one would block forever.
+func TestGuardFreeRollbackTakesNoGuard(t *testing.T) {
+	g := NewGuard()
+	g.Lock()
+	fallbackGuard.Lock()
+	defer g.Unlock()
+	defer fallbackGuard.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		th := newTestThread()
+		done <- th.Atomic(func(tx *Tx) error {
+			// Commit handler only, under a held guard: rollback must
+			// ignore it (commit guards are not rollback guards).
+			tx.OnCommitGuarded(g, func() {})
+			return errRollback
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != errRollback {
+			t.Fatalf("rollback returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("guard-free rollback blocked on a guard it never registered")
+	}
+}
+
+// TestRollbackAcquiresOnlyRegisteredAbortGuards: a rollback with an
+// abort handler under guard A must not touch unrelated guard B (held by
+// someone else), and must run the handler with A held.
+func TestRollbackAcquiresOnlyRegisteredAbortGuards(t *testing.T) {
+	a, b := NewGuard(), NewGuard()
+	b.Lock()
+	defer b.Unlock()
+
+	done := make(chan struct{})
+	heldA := false
+	go func() {
+		defer close(done)
+		th := newTestThread()
+		_ = th.Atomic(func(tx *Tx) error {
+			tx.OnAbortGuarded(a, func() {
+				// The protocol holds a for the handler window, so a
+				// TryLock from inside the handler must fail.
+				heldA = !a.mu.TryLock()
+			})
+			return errRollback
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rollback blocked on an unregistered guard")
+	}
+	if !heldA {
+		t.Fatal("abort handler ran without its registered guard held")
+	}
+}
+
+// TestDisjointHandlerWindowsOverlap is the tentpole's concurrency
+// witness: two transactions with disjoint guard footprints rendezvous
+// *inside their commit handlers*. Each handler signals the other and
+// waits for the other's signal, which can only succeed if both handler
+// windows are open at the same time — under the old global commitMu
+// this deadlocks (one handler holds the only guard while waiting for
+// the other, which can never enter its own window).
+func TestDisjointHandlerWindowsOverlap(t *testing.T) {
+	ga, gb := NewGuard(), NewGuard()
+	aIn, bIn := make(chan struct{}), make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th := NewThread(&RealClock{}, 1)
+		_ = th.Atomic(func(tx *Tx) error {
+			tx.OnCommitGuarded(ga, func() {
+				close(aIn)
+				<-bIn
+			})
+			return nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		th := NewThread(&RealClock{}, 2)
+		_ = th.Atomic(func(tx *Tx) error {
+			tx.OnCommitGuarded(gb, func() {
+				close(bIn)
+				<-aIn
+			})
+			return nil
+		})
+	}()
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("disjoint handler windows did not overlap: commits serialized behind a shared guard")
+	}
+}
+
+// TestOverlappingGuardFootprintStress drives N workers committing and
+// aborting transactions whose footprints are random overlapping subsets
+// of K guards, in registration orders chosen adversarially (descending,
+// interleaved). The id-ordered blocking acquisition must never
+// deadlock, and every guarded counter must come out exact because each
+// counter is only ever touched under its guard. Run with -race for the
+// full effect.
+func TestOverlappingGuardFootprintStress(t *testing.T) {
+	const (
+		K     = 4
+		N     = 8
+		iters = 300
+	)
+	guards := make([]*Guard, K)
+	counts := make([]int64, K) // counts[i] guarded by guards[i]
+	for i := range guards {
+		guards[i] = NewGuard()
+	}
+	want := make([]int64, K)
+	var wantMu sync.Mutex
+
+	var wg sync.WaitGroup
+	wg.Add(N)
+	for w := 0; w < N; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			th := NewThread(&RealClock{}, int64(w))
+			local := make([]int64, K)
+			for it := 0; it < iters; it++ {
+				// Pick an overlapping footprint of 1..K guards and a
+				// shuffled registration order (the protocol must sort).
+				perm := rng.Perm(K)
+				n := 1 + rng.Intn(K)
+				abort := rng.Intn(4) == 0
+				err := th.Atomic(func(tx *Tx) error {
+					for _, gi := range perm[:n] {
+						gi := gi
+						tx.OnCommitGuarded(guards[gi], func() {
+							counts[gi]++
+						})
+						tx.OnAbortGuarded(guards[gi], func() {
+							counts[gi]-- // compensation exercises rollback's guard set
+							counts[gi]++
+						})
+					}
+					if abort {
+						return errRollback
+					}
+					return nil
+				})
+				if err == nil {
+					for _, gi := range perm[:n] {
+						local[gi]++
+					}
+				}
+			}
+			wantMu.Lock()
+			for i, v := range local {
+				want[i] += v
+			}
+			wantMu.Unlock()
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("overlapping-footprint stress deadlocked")
+	}
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("guard %d: count %d, want %d (handler ran without mutual exclusion?)", i, counts[i], want[i])
+		}
+	}
+}
+
+// TestGuardWaitEventEmitted: contended guarded commits surface as
+// guard.wait events with the guard's label, emitted outside the window.
+func TestGuardWaitEventEmitted(t *testing.T) {
+	g := NewGuard()
+	g.SetLabel("stress.map")
+	var waits atomic.Int64
+	obs.SetTracer(guardWaitCounter{&waits})
+	t.Cleanup(func() { obs.SetTracer(nil) })
+
+	const N = 4
+	var wg sync.WaitGroup
+	wg.Add(N)
+	for w := 0; w < N; w++ {
+		go func(w int) {
+			defer wg.Done()
+			th := NewThread(&RealClock{}, int64(w))
+			for i := 0; i < 200; i++ {
+				_ = th.Atomic(func(tx *Tx) error {
+					tx.OnCommitGuarded(g, func() {
+						time.Sleep(10 * time.Microsecond)
+					})
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if waits.Load() == 0 {
+		t.Skip("no guard contention observed on this run (single-core scheduling)")
+	}
+}
+
+// guardWaitCounter is a concurrency-safe sink counting guard.wait
+// contention.
+type guardWaitCounter struct{ n *atomic.Int64 }
+
+func (c guardWaitCounter) Trace(e obs.Event) {
+	if e.Kind == obs.KindGuardWait {
+		c.n.Add(int64(e.Waits))
+	}
+}

@@ -54,6 +54,13 @@ type Handle struct {
 	status atomic.Int32
 	// reason records why the transaction was violated, for diagnostics.
 	reason atomic.Value // string
+	// id is a process-global unique identity assigned when the attempt
+	// begins. Semantic lock tables violate conflicting owners in
+	// ascending id order, so violation order — and hence trace order —
+	// is deterministic under the simulator's deterministic schedules
+	// (Go map iteration would randomize it). Zero for handles created
+	// outside a transaction (tests).
+	id uint64
 	// birth is the worker-local time the attempt began, available to
 	// age-based contention policies.
 	birth uint64
@@ -64,8 +71,16 @@ type Handle struct {
 	txid uint64
 }
 
+// handleIDs hands out Handle identities; see Handle.id.
+var handleIDs atomic.Uint64
+
 // Status returns the current lifecycle state.
 func (h *Handle) Status() Status { return Status(h.status.Load()) }
+
+// ID returns the handle's process-global identity (0 for handles not
+// created by a transaction attempt). Lock tables use it as the
+// canonical violation order.
+func (h *Handle) ID() uint64 { return h.id }
 
 // Violate requests that the owning transaction abort (program-directed
 // abort). It succeeds only while the transaction is still Active; the

@@ -2,23 +2,9 @@ package stm
 
 import (
 	"math/rand"
-	"sync"
 
 	"tcc/internal/obs"
 )
-
-// commitMu serializes the window from a transaction's point of no
-// return through the completion of its commit (or abort) handlers, for
-// transactions that have handlers. On the paper's TCC hardware a commit
-// is atomic with the conflict broadcast that violates other processors;
-// without this guard a reader holding a semantic lock could slip its
-// own commit between a writer's memory commit and the writer's
-// handler-performed semantic conflict detection, breaking
-// serializability. Handler bodies are short critical sections and must
-// not charge virtual time while the guard is held (they use
-// Thread.DeferTick), so on the simulator the guard is never contended
-// and on real hardware it serializes only the brief commit windows.
-var commitMu sync.Mutex
 
 // Stats counts transactional events on one worker. Harnesses aggregate
 // them across workers to report the lost-work breakdowns the paper's
@@ -108,10 +94,24 @@ type Thread struct {
 	// randomized exponential backoff.
 	policy BackoffPolicy
 	// txPool and levelPool recycle transaction and nesting-level
-	// objects; commitBuf is the sorted write-set scratch.
+	// objects; commitBuf is the sorted write-set scratch and guardBuf
+	// the sorted guard-footprint scratch.
 	txPool    []*Tx
 	levelPool []*level
 	commitBuf writeBuf
+	guardBuf  []*Guard
+}
+
+// sortedGuards gathers the union of the given guard lists into the
+// thread's scratch buffer, sorted ascending by id and deduplicated —
+// the canonical acquisition order for acquireGuards.
+func (t *Thread) sortedGuards(lists ...[]*Guard) []*Guard {
+	buf := t.guardBuf[:0]
+	for _, gs := range lists {
+		buf = append(buf, gs...)
+	}
+	t.guardBuf = buf
+	return sortGuards(buf)
 }
 
 // NewThread creates a worker bound to a clock, with a deterministic
@@ -145,6 +145,8 @@ func (t *Thread) putTx(tx *Tx) {
 	tx.txid = 0
 	tx.firstBirth = 0
 	tx.conflict = conflictRec{}
+	tx.gwaits = 0
+	tx.gwaitOn = nil
 	if tx.locals != nil {
 		clear(tx.locals)
 	}
@@ -180,10 +182,10 @@ func (t *Thread) releaseLevels(tx *Tx) {
 }
 
 // DeferTick records cycles to charge once the current commit or abort
-// completes. Commit and abort handlers run under the global commit
-// guard and must not advance the clock directly (on the simulator that
-// would yield while holding a host lock); they charge their work here
-// instead.
+// completes. Commit and abort handlers run with their collection's
+// commit guard held and must not advance the clock directly (on the
+// simulator that would yield while holding a host lock); they charge
+// their work here instead.
 func (t *Thread) DeferTick(cycles uint64) { t.deferred += cycles }
 
 // flushDeferred charges the accumulated handler cycles.
@@ -227,7 +229,7 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 	for attempt := 0; ; attempt++ {
 		t.Clock.Tick(CostTxBegin)
 		tx.thread = t
-		tx.handle = &Handle{birth: t.Clock.Now()}
+		tx.handle = &Handle{id: handleIDs.Add(1), birth: t.Clock.Now()}
 		tx.outer = nil
 		tx.readVersion = globalClock.Load()
 		tx.cur = t.getLevel(nil)
@@ -332,6 +334,12 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 			if o.commitOpen() {
 				tx.cur.onCommit = append(tx.cur.onCommit, o.cur.onCommit...)
 				tx.cur.onAbort = append(tx.cur.onAbort, o.cur.onAbort...)
+				for _, g := range o.cur.commitGuards {
+					tx.cur.commitGuards = addGuard(tx.cur.commitGuards, g)
+				}
+				for _, g := range o.cur.abortGuards {
+					tx.cur.abortGuards = addGuard(tx.cur.abortGuards, g)
+				}
 				t.Stats.OpenCommits++
 				if tr := o.trc(); tr != nil {
 					e := o.event(obs.KindOpenCommit)

@@ -13,9 +13,9 @@ import (
 // Discipline: the hot path pays one obs.Active() load per top-level
 // attempt. Attribution inside the commit machinery (noteConflict) only
 // stores pre-existing pointers and constant strings — no allocation,
-// no user code — because it can run while the global commit guard is
+// no user code — because it can run while commit guards are
 // held. Everything that formats, allocates, or calls the Tracer
-// happens in the retry loop after locks are released (the stmlint
+// happens in the retry loop after guards and locks are released (the stmlint
 // trace-in-commit rule enforces this for emission sites).
 
 // txIDs hands out process-global transaction ids. Ids are assigned
@@ -108,6 +108,36 @@ func (tx *Tx) emitRollback(kind obs.Kind, reason string) {
 		e.Reason = reason
 	}
 	tx.tracer.Trace(e)
+}
+
+// noteGuardWait records that the commit or rollback protocol blocked
+// acquiring g (the TryLock probe in acquireGuards failed). Safe inside
+// the guard-acquisition sequence: field stores only, no allocation, no
+// tracer call.
+func (tx *Tx) noteGuardWait(g *Guard) {
+	top := tx.top()
+	if top.tracer == nil {
+		return
+	}
+	top.gwaits++
+	top.gwaitOn = g
+}
+
+// emitGuardWaits emits the guard-wait event for the commit or rollback
+// that just released its guard footprint, attributing
+// commit-serialization lost work to the last contended guard. Label
+// resolution may allocate; emission sites only (after releaseGuards).
+func (tx *Tx) emitGuardWaits() {
+	top := tx.top()
+	if top.tracer == nil || top.gwaits == 0 {
+		return
+	}
+	e := tx.event(obs.KindGuardWait)
+	e.Where = top.gwaitOn.Label()
+	e.Waits = top.gwaits
+	top.gwaits = 0
+	top.gwaitOn = nil
+	top.tracer.Trace(e)
 }
 
 // emitOpenRetry emits the retry event for an open-nested child.

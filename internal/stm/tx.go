@@ -215,6 +215,12 @@ type level struct {
 	writes   writeSet
 	onCommit []handler
 	onAbort  []handler
+	// commitGuards and abortGuards are the guard footprint accumulated
+	// at this level: the (deduplicated) guards under which the handlers
+	// above were registered. The commit protocol acquires the union of
+	// both in id order; rollback acquires only abortGuards.
+	commitGuards []*Guard
+	abortGuards  []*Guard
 }
 
 // reset clears the level for reuse. Handler slices keep their backing
@@ -232,6 +238,14 @@ func (l *level) reset() {
 		l.onAbort[i] = nil
 	}
 	l.onAbort = l.onAbort[:0]
+	for i := range l.commitGuards {
+		l.commitGuards[i] = nil
+	}
+	l.commitGuards = l.commitGuards[:0]
+	for i := range l.abortGuards {
+		l.abortGuards[i] = nil
+	}
+	l.abortGuards = l.abortGuards[:0]
 }
 
 // Tx is a transaction: either a top-level atomic region, or an
@@ -276,6 +290,13 @@ type Tx struct {
 	txid       uint64
 	firstBirth uint64
 	conflict   conflictRec
+	// gwaits / gwaitOn record commit-guard contention observed by the
+	// TryLock probe in acquireGuards: the number of guards this commit
+	// or rollback blocked on and the last such guard. Plain field
+	// stores — the guard-wait event is emitted after the guards are
+	// released (emitGuardWaits), never inside the guard window.
+	gwaits  int
+	gwaitOn *Guard
 }
 
 // Thread returns the worker this transaction runs on.
@@ -319,33 +340,73 @@ func (tx *Tx) SetLocal(key, val any) {
 // (in registration order) after the top-level transaction's memory
 // commit succeeds. Registering from an open-nested child attaches the
 // handler to the child's *enclosing* level once the child commits.
-func (tx *Tx) OnCommit(fn func()) { tx.cur.onCommit = append(tx.cur.onCommit, fn) }
+//
+// Handlers registered this way run under the shared fallback guard:
+// correct for any handler, but serializing against every other
+// fallback-guarded commit. Code tied to a specific collection instance
+// should use OnCommitGuarded with that instance's Guard so disjoint
+// footprints commit in parallel.
+func (tx *Tx) OnCommit(fn func()) { tx.OnCommitGuarded(fallbackGuard, fn) }
+
+// OnCommitGuarded is OnCommit with an explicit guard: the commit
+// protocol acquires g (with the rest of the transaction's guard
+// footprint, in id order) before the point of no return and holds it
+// until every commit handler has run, making fn atomic with the memory
+// commit with respect to all other transactions guarded by g.
+func (tx *Tx) OnCommitGuarded(g *Guard, fn func()) {
+	l := tx.cur
+	l.onCommit = append(l.onCommit, fn)
+	l.commitGuards = addGuard(l.commitGuards, g)
+}
 
 // OnAbort registers fn to run if the level it is associated with — and
 // therefore the work it compensates for — is rolled back: it runs
 // (newest-first) when that level or any enclosing level aborts, and is
 // discarded once the top-level transaction commits. Abort handlers are
 // the compensation mechanism that undoes effects published by
-// open-nested children (paper §4).
-func (tx *Tx) OnAbort(fn func()) { tx.cur.onAbort = append(tx.cur.onAbort, fn) }
+// open-nested children (paper §4). Like OnCommit, the unguarded form
+// maps to the shared fallback guard; prefer OnAbortGuarded.
+func (tx *Tx) OnAbort(fn func()) { tx.OnAbortGuarded(fallbackGuard, fn) }
+
+// OnAbortGuarded is OnAbort with an explicit guard, held while fn
+// compensates during rollback (and, because an abort handler may still
+// be pending when the transaction commits, also during the commit
+// window).
+func (tx *Tx) OnAbortGuarded(g *Guard, fn func()) {
+	l := tx.cur
+	l.onAbort = append(l.onAbort, fn)
+	l.abortGuards = addGuard(l.abortGuards, g)
+}
 
 // OnTopCommit registers fn at the top-level transaction's root nesting
-// level, regardless of the current nesting depth. The transactional
-// collection classes use this (together with OnTopAbort) to implement
-// the paper's §5 guideline of a single commit handler and a single
-// abort handler per transaction and collection, registered by the first
-// operation; see the internal/core package documentation for the
-// resulting closed-nesting caveat.
-func (tx *Tx) OnTopCommit(fn func()) {
+// level, regardless of the current nesting depth, under the fallback
+// guard. The transactional collection classes use the guarded variant
+// (together with OnTopAbortGuarded) to implement the paper's §5
+// guideline of a single commit handler and a single abort handler per
+// transaction and collection, registered by the first operation; see
+// the internal/core package documentation for the resulting
+// closed-nesting caveat.
+func (tx *Tx) OnTopCommit(fn func()) { tx.OnTopCommitGuarded(fallbackGuard, fn) }
+
+// OnTopCommitGuarded registers a commit handler at the root level under
+// an explicit guard.
+func (tx *Tx) OnTopCommitGuarded(g *Guard, fn func()) {
 	l := tx.top().rootLevel()
 	l.onCommit = append(l.onCommit, fn)
+	l.commitGuards = addGuard(l.commitGuards, g)
 }
 
 // OnTopAbort registers fn at the top-level transaction's root nesting
-// level; it runs if and only if the whole transaction rolls back.
-func (tx *Tx) OnTopAbort(fn func()) {
+// level, under the fallback guard; it runs if and only if the whole
+// transaction rolls back.
+func (tx *Tx) OnTopAbort(fn func()) { tx.OnTopAbortGuarded(fallbackGuard, fn) }
+
+// OnTopAbortGuarded registers an abort handler at the root level under
+// an explicit guard.
+func (tx *Tx) OnTopAbortGuarded(g *Guard, fn func()) {
 	l := tx.top().rootLevel()
 	l.onAbort = append(l.onAbort, fn)
+	l.abortGuards = addGuard(l.abortGuards, g)
 }
 
 func (tx *Tx) rootLevel() *level {
@@ -479,6 +540,12 @@ func (child *level) mergeInto(parent *level) {
 	}
 	parent.onCommit = append(parent.onCommit, child.onCommit...)
 	parent.onAbort = append(parent.onAbort, child.onAbort...)
+	for _, g := range child.commitGuards {
+		parent.commitGuards = addGuard(parent.commitGuards, g)
+	}
+	for _, g := range child.abortGuards {
+		parent.abortGuards = addGuard(parent.abortGuards, g)
+	}
 }
 
 // runAbortHandlers runs a level's abort handlers newest-first, so
@@ -524,27 +591,30 @@ func runTx(fn func(*Tx) error, tx *Tx) (err error, sig *signal) {
 	return
 }
 
-// commit attempts the top-level TL2 commit: lock the write set in
-// variable-ID order, validate the read set, pass the point of no return
+// commit attempts the top-level TL2 commit: acquire the transaction's
+// guard footprint in id order (blocking), lock the write set in
+// variable-ID order (non-blocking — it cannot deadlock against the
+// guards), validate the read set, pass the point of no return
 // (Active→Prepared, losing to any in-flight Violate), install at a
 // fresh clock tick, then run commit handlers in registration order.
-// For transactions with handlers the whole sequence runs under the
-// global commit guard so that semantic conflict detection is atomic
-// with the commit (see commitMu). It reports whether the transaction
-// committed.
+// The guard footprint is the union of the root level's commit and
+// abort guards: a transaction that registered only an abort handler
+// with a collection still serializes its commit against that
+// collection's other users, which is what makes the collection's
+// semantic conflict detection atomic with the memory commit (see
+// Guard). Transactions with disjoint footprints — or none — do not
+// serialize against each other at all. It reports whether the
+// transaction committed.
 func (tx *Tx) commit() bool {
 	l := tx.cur
 	if l.parent != nil {
 		panic("stm: commit with open nested level")
 	}
-	guarded := len(l.onCommit) > 0 || len(l.onAbort) > 0
-	if guarded {
-		commitMu.Lock()
-	}
+	gs := tx.thread.sortedGuards(l.commitGuards, l.abortGuards)
+	acquireGuards(tx, gs)
 	ok := tx.commitGuarded(l)
-	if guarded {
-		commitMu.Unlock()
-	}
+	releaseGuards(gs)
+	tx.emitGuardWaits()
 	if ok {
 		tx.tick(CostCommitBase + CostCommitPerWrite*uint64(l.writes.len()))
 		tx.thread.flushDeferred()
@@ -659,27 +729,31 @@ func (t *Thread) sortedWrites(l *level) []writeEntry {
 	return t.commitBuf
 }
 
-// rollback discards the transaction's buffered writes and runs its abort
-// handlers (compensating any open-nested effects) under the commit
-// guard, so compensations are atomic with respect to other
-// transactions' commits.
+// rollback discards the transaction's buffered writes and runs every
+// level's abort handlers (compensating any open-nested effects) under
+// the union of the guards those handlers were registered with, so
+// compensations are atomic with respect to the commits of other
+// transactions sharing those collections. A transaction that registered
+// no abort handlers — or only commit handlers — acquires no guard at
+// all: commit guards are irrelevant once the transaction is rolling
+// back, and a guard-free rollback must not serialize behind anyone.
 func (tx *Tx) rollback() {
 	tx.handle.setAborted()
-	guarded := false
+	t := tx.thread
+	buf := t.guardBuf[:0]
 	for l := tx.cur; l != nil; l = l.parent {
-		if len(l.onAbort) > 0 {
-			guarded = true
+		for _, g := range l.abortGuards {
+			buf = addGuard(buf, g)
 		}
 	}
-	if guarded {
-		commitMu.Lock()
-	}
+	t.guardBuf = buf
+	gs := sortGuards(buf)
+	acquireGuards(tx, gs)
 	for l := tx.cur; l != nil; l = l.parent {
 		l.runAbortHandlers()
 	}
-	if guarded {
-		commitMu.Unlock()
-	}
+	releaseGuards(gs)
+	tx.emitGuardWaits()
 	tx.tick(CostAbort)
-	tx.thread.flushDeferred()
+	t.flushDeferred()
 }

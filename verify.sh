@@ -26,6 +26,10 @@ go test -race ./...
 echo "== stmlint ./..."
 go run ./cmd/stmlint ./...
 
+echo "== disjoint-commit smoke (sharded guard footprints overlap)"
+go test -run 'TestDisjointHandlerWindowsOverlap|TestGuardFreeRollbackTakesNoGuard' \
+  -count=1 ./internal/stm >/dev/null
+
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
 
