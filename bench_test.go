@@ -8,7 +8,9 @@ package tcc
 // group at the end measures real wall-clock operation costs.
 
 import (
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tcc/internal/collections"
 	"tcc/internal/concurrent"
@@ -79,6 +81,79 @@ func BenchmarkFigureDisjoint(b *testing.B) {
 		fig = harness.RunFigure("TestDisjoint", harness.DisjointMapConfigs(p), benchCPUs, p.TotalOps, 7)
 	}
 	reportFigure(b, fig, []string{"shared", "disjoint"})
+}
+
+// BenchmarkFigureStriped sweeps the intra-collection striping pair
+// (tccbench figure 5): one shared map, per-worker disjoint key ranges,
+// single-guard baseline vs 16-stripe map.
+func BenchmarkFigureStriped(b *testing.B) {
+	p := harness.DefaultMapParams()
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestStripedMap", harness.StripedMapConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"single", "striped"})
+}
+
+// hotMapDisjointKeys is the wall-clock demonstration for
+// intra-collection striping, the map-level sequel to
+// stm.BenchmarkSTMDisjointHandlerWindow: 8 workers hammer ONE shared
+// map, each on its own key, and each commit carries a 50µs sleeping
+// handler under that key's stripe guard (I/O-shaped post-commit work).
+// On the single-guard map every handler window — the map's own commit
+// handler and the sleep — serializes behind the one instance guard, so
+// an op costs ~8×50µs; on the striped map the workers' keys live on
+// distinct stripes, the windows overlap, and the per-op cost approaches
+// the 50µs floor even on one CPU, because sleeping goroutines yield.
+func hotMapDisjointKeys(b *testing.B, tm *core.TransactionalMap[int, int]) {
+	const workers = 8
+	// One key per worker; when the map has at least `workers` stripes
+	// the keys are chosen on pairwise-distinct stripes.
+	keys := make([]int, 0, workers)
+	seenStripe := make(map[int]bool)
+	for k := 0; len(keys) < workers && k < 1<<16; k++ {
+		si := tm.StripeOf(k)
+		if tm.Stripes() >= workers && seenStripe[si] {
+			continue
+		}
+		seenStripe[si] = true
+		keys = append(keys, k)
+	}
+	var next atomic.Int64
+	b.SetParallelism(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		wkr := int(next.Add(1)-1) % workers
+		k := keys[wkr]
+		g := tm.StripeGuard(k)
+		th := stm.NewThread(&stm.RealClock{}, int64(wkr+1))
+		handler := func() { time.Sleep(50 * time.Microsecond) }
+		v := 0
+		for pb.Next() {
+			v++
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, k, v)
+				tx.OnCommitGuarded(g, handler)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkSTMHotMapDisjointKeys is the tentpole target: disjoint-key
+// writers on one striped map commit in parallel.
+func BenchmarkSTMHotMapDisjointKeys(b *testing.B) {
+	hotMapDisjointKeys(b, core.NewStripedTransactionalMap[int, int](func() collections.Map[int, int] {
+		return collections.NewHashMap[int, int]()
+	}, core.DefaultStripes))
+}
+
+// BenchmarkSTMHotMapDisjointKeysSingleGuard is the pre-striping
+// baseline: the same workload against a single-guard TransactionalMap.
+func BenchmarkSTMHotMapDisjointKeysSingleGuard(b *testing.B) {
+	hotMapDisjointKeys(b, core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]()))
 }
 
 // BenchmarkFigure4 regenerates the single-warehouse SPECjbb2000 sweep

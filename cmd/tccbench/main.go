@@ -5,6 +5,8 @@
 //	Figure 2 — TestSortedMap  (TreeMap variants, subMap range lookups)
 //	Figure 3 — TestCompound   (two composed operations per transaction)
 //	Figure 4 — SPECjbb2000    (single-warehouse, four configurations)
+//	Figure 5 — TestStripedMap (disjoint-key workers on one shared map,
+//	                           single-guard vs striped)
 //
 // Each figure prints one row per CPU count and one column per
 // configuration; values are speedups normalized to the 1-CPU Java run,
@@ -12,7 +14,7 @@
 //
 // Usage:
 //
-//	tccbench                  # all four figures
+//	tccbench                  # all five figures
 //	tccbench -fig 3           # one figure
 //	tccbench -ops 8192        # more work per run
 //	tccbench -cpus 1,2,4,8    # custom sweep
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	var (
-		figFlag     = flag.Int("fig", 0, "figure to run (1-4); 0 runs all")
+		figFlag     = flag.Int("fig", 0, "figure to run (1-5); 0 runs all")
 		opsFlag     = flag.Int("ops", 4096, "total operations per run (divided among CPUs)")
 		cpusFlag    = flag.String("cpus", "1,2,4,8,16,32", "comma-separated CPU counts")
 		seedFlag    = flag.Int64("seed", 7, "deterministic schedule seed")
@@ -83,13 +85,13 @@ func main() {
 		fmt.Println()
 	}
 	if *figFlag != 0 {
-		if *figFlag < 1 || *figFlag > 4 {
-			fmt.Fprintln(os.Stderr, "tccbench: -fig must be 1..4")
+		if *figFlag < 1 || *figFlag > 5 {
+			fmt.Fprintln(os.Stderr, "tccbench: -fig must be 1..5")
 			os.Exit(2)
 		}
 		run(*figFlag)
 	} else {
-		for n := 1; n <= 4; n++ {
+		for n := 1; n <= 5; n++ {
 			run(n)
 		}
 	}
@@ -130,7 +132,7 @@ func writeTo(path string, write func(w io.Writer) error) error {
 }
 
 func noteFor(fig, ops int, seed int64) string {
-	which := "figures 1-4"
+	which := "figures 1-5"
 	if fig != 0 {
 		which = fmt.Sprintf("figure %d", fig)
 	}
@@ -147,8 +149,10 @@ func buildFigure(n int, cpus []int, ops int, seed int64, opts harness.FigureOpti
 		return harness.RunFigureOpts("TestSortedMap (Figure 2)", harness.TestSortedMapConfigs(p), cpus, ops, seed, opts)
 	case 3:
 		return harness.RunFigureOpts("TestCompound (Figure 3)", harness.TestCompoundConfigs(p), cpus, ops, seed, opts)
-	default:
+	case 4:
 		return jbb.RunFigure4Opts(cpus, ops, jbb.DefaultParams(), seed, opts)
+	default:
+		return harness.RunFigureOpts("TestStripedMap (Figure 5)", harness.StripedMapConfigs(p), cpus, ops, seed, opts)
 	}
 }
 

@@ -15,11 +15,12 @@ import (
 // window is limited to plain field stores (stm's noteConflict and
 // noteGuardWait); emission happens after the guards are released. This
 // rule makes that boundary machine-checked: between a window-opening
-// statement — a Guard.Lock() call, or a call to a function named
-// acquireGuards (the protocol's footprint acquisition) — and the
-// matching Guard.Unlock() / releaseGuards(), no statement — nor any
-// same-package function called from one — may call into the obs package
-// or construct an obs value.
+// statement — a Guard.Lock() call, a call to a function named
+// acquireGuards (the protocol's footprint acquisition), or a call to a
+// lockGuards helper (a striped collection's all-stripes sweep) — and
+// the matching Guard.Unlock() / releaseGuards() / unlockGuards(), no
+// statement — nor any same-package function called from one — may call
+// into the obs package or construct an obs value.
 var ruleTraceInCommit = &Rule{
 	ID:  "trace-in-commit",
 	Doc: "observability emission (obs call or obs value construction) inside a commit-guard hold window",
@@ -106,24 +107,36 @@ func runTraceInCommit(p *Pass) {
 
 // stmtOpensGuardWindow reports whether stmt directly opens a
 // commit-guard hold window: it calls stm.Guard.Lock (the collections'
-// fused critical sections), or a function named acquireGuards (the
-// commit protocol's blocking footprint acquisition — matched by name so
-// the rule works both on the stm package's unexported helper and on
-// fixtures that model it). Deferred calls and function literals do not
-// count: a defer runs at function return, and a closure body runs
-// whenever it is invoked — neither changes whether a guard is held at
-// the statements that follow.
+// fused critical sections), a function named acquireGuards (the commit
+// protocol's blocking footprint acquisition — matched by name so the
+// rule works both on the stm package's unexported helper and on
+// fixtures that model it), or a function or method named lockGuards (a
+// striped collection's all-stripes acquisition helper: a loop locking
+// every stripe guard in ascending id order, e.g. for an iterator
+// snapshot — everything after it runs with the whole instance's guards
+// held). Deferred calls and function literals do not count: a defer
+// runs at function return, and a closure body runs whenever it is
+// invoked — neither changes whether a guard is held at the statements
+// that follow.
 func stmtOpensGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Lock", "acquireGuards")
+	return stmtGuardOp(info, stmt, "Lock", "acquireGuards", "lockGuards")
 }
 
 // stmtClosesGuardWindow reports whether stmt directly closes the
-// window: Guard.Unlock or a call to a function named releaseGuards.
+// window: Guard.Unlock, or a call to a function named releaseGuards or
+// a function or method named unlockGuards.
 func stmtClosesGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards")
+	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards", "unlockGuards")
 }
 
-func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName string) bool {
+// stmtGuardOp matches three shapes of guard transition under stmt: the
+// Guard method itself (type-checked against the stm package), a free
+// function named freeName (acquireGuards/releaseGuards take the guard
+// slice as an argument, so a method of that name would be something
+// else), and a helper named helperName with or without a receiver —
+// striped collections hang lockGuards/unlockGuards off the instance
+// whose stripes they sweep.
+func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName string) bool {
 	found := false
 	ast.Inspect(stmt, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -132,8 +145,12 @@ func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName string) bool 
 		case *ast.CallExpr:
 			if isSTMMethod(info, n, "Guard", method) {
 				found = true
-			} else if fn := calleeFunc(info, n); fn != nil && fn.Name() == freeName && recvNamed(fn) == nil {
-				found = true
+			} else if fn := calleeFunc(info, n); fn != nil {
+				if fn.Name() == freeName && recvNamed(fn) == nil {
+					found = true
+				} else if fn.Name() == helperName {
+					found = true
+				}
 			}
 		}
 		return !found

@@ -1,7 +1,8 @@
 // Package traceincommit exercises the trace-in-commit rule: inside a
-// commit-guard hold window — opened by stm.Guard.Lock or by a call to a
-// function named acquireGuards, closed by Guard.Unlock /
-// releaseGuards — no code may call into the obs package or construct
+// commit-guard hold window — opened by stm.Guard.Lock, by a call to a
+// function named acquireGuards, or by a striped collection's
+// lockGuards helper; closed by Guard.Unlock / releaseGuards /
+// unlockGuards — no code may call into the obs package or construct
 // obs values. Emission belongs after the guards are released.
 package traceincommit
 
@@ -60,6 +61,33 @@ func footprintWindow(tr obs.Tracer, gs []*stm.Guard) {
 	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
 	releaseGuards(gs)
 	tr.Trace(obs.Event{}) // emission after release: the protocol's emitGuardWaits shape
+}
+
+// stripedMap models a striped collection's all-stripes acquisition
+// helper: lockGuards/unlockGuards are methods (the real helpers hang
+// off the collection instance) that sweep every stripe guard, so a call
+// to them opens/closes a hold window exactly like Guard.Lock/Unlock.
+type stripedMap struct {
+	guards []*stm.Guard
+}
+
+func (m *stripedMap) lockGuards() {
+	for _, g := range m.guards {
+		g.Lock()
+	}
+}
+
+func (m *stripedMap) unlockGuards() {
+	for _, g := range m.guards {
+		g.Unlock()
+	}
+}
+
+func stripedSnapshotWindow(tr obs.Tracer, m *stripedMap) {
+	m.lockGuards()
+	tr.Trace(obs.Event{}) // want trace-in-commit trace-in-commit
+	m.unlockGuards()
+	tr.Trace(obs.Event{}) // emission after the stripe sweep is released
 }
 
 // lockAndCall reaches emission through a same-package call chain; the

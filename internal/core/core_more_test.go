@@ -65,9 +65,9 @@ func TestIteratorOnEmptyMap(t *testing.T) {
 			t.Fatal("Next on empty iterator succeeded")
 		}
 		// HasNext()==false on an empty map still reveals the size.
-		tm.guard.Lock()
-		n := tm.sizeLockers.Len()
-		tm.guard.Unlock()
+		tm.lockGuards()
+		n := tm.stripes[0].sizeLockers.Len()
+		tm.unlockGuards()
 		if n != 1 {
 			t.Fatal("exhausted empty iterator must hold the size lock")
 		}
@@ -121,9 +121,9 @@ func TestSortedIteratorOnEmptyMap(t *testing.T) {
 			t.Fatal("empty sorted map has next")
 		}
 		// Unbounded exhaustion takes the last lock.
-		tm.guard.Lock()
+		tm.lockGuards()
 		held := tm.sorted.lastLockers.Len()
-		tm.guard.Unlock()
+		tm.unlockGuards()
 		if held != 1 {
 			t.Fatal("exhausted unbounded iterator must hold the last lock")
 		}

@@ -23,14 +23,14 @@ type mapLockState struct {
 }
 
 func snapshotLocks(tm *TransactionalMap[int, int], h *stm.Handle, probeKeys []int) mapLockState {
-	tm.guard.Lock()
-	defer tm.guard.Unlock()
+	tm.lockGuards()
+	defer tm.unlockGuards()
 	st := mapLockState{
-		size:  tm.sizeLockers.Holds(h),
-		empty: tm.emptyLockers.Holds(h),
+		size:  tm.stripes[0].sizeLockers.Holds(h),
+		empty: tm.stripes[0].emptyLockers.Holds(h),
 	}
 	for _, k := range probeKeys {
-		if tm.key2lockers.Holds(k, h) {
+		if tm.stripes[tm.StripeOf(k)].key2lockers.Holds(k, h) {
 			st.keys = append(st.keys, k)
 		}
 	}
@@ -195,9 +195,9 @@ func TestMapIteratorNextTakesKeyLock(t *testing.T) {
 				break
 			}
 			seen++
-			tm.guard.Lock()
-			held := tm.key2lockers.Holds(k, h)
-			tm.guard.Unlock()
+			tm.lockGuards()
+			held := tm.stripes[tm.StripeOf(k)].key2lockers.Holds(k, h)
+			tm.unlockGuards()
 			if !held {
 				t.Fatalf("iterator returned %d without its key lock", k)
 			}
@@ -314,8 +314,8 @@ func coversAny(tm *TransactionalSortedMap[int, int], tx *stm.Tx, k int) bool {
 	if !ok {
 		return false
 	}
-	tm.guard.Lock()
-	defer tm.guard.Unlock()
+	tm.lockGuards()
+	defer tm.unlockGuards()
 	for _, e := range l.rangeLocks {
 		if tm.sorted.rangeLockers.Covers(e, k) {
 			return true

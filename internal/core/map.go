@@ -21,13 +21,28 @@
 //     (compensation for the open-nested lock acquisitions).
 //
 // The open-nested regions execute as tx.Open children whose body is a
-// short critical section on the instance's commit guard (stm.Guard) —
-// the same guard its handlers are registered under, so lock-table
-// reads stay atomic with respect to commits; this is the substitution
-// for the paper's low-level open-nested hardware transactions
-// described in DESIGN.md §4 — immediate global visibility,
-// compensation via abort handlers, and lock ownership by the top-level
-// transaction are all preserved.
+// short critical section on a commit guard (stm.Guard) — the same guard
+// the instance's handlers are registered under, so lock-table reads
+// stay atomic with respect to commits; this is the substitution for the
+// paper's low-level open-nested hardware transactions described in
+// DESIGN.md §4 — immediate global visibility, compensation via abort
+// handlers, and lock ownership by the top-level transaction are all
+// preserved.
+//
+// # Striping
+//
+// TransactionalMap shards its internals — the wrapped map, the key-lock
+// table, and the size/empty lock sets — into S hash(key)-indexed
+// stripes, each fused with its own guard, so open-nested operations on
+// disjoint keys of the same map run fully in parallel and a commit's
+// guard footprint covers only the stripes its buffer touched
+// (NewStripedTransactionalMap; DESIGN.md §4.2). NewTransactionalMap
+// wraps one caller-supplied structure and is therefore single-stripe,
+// as are TransactionalSortedMap (range and endpoint locks are
+// inherently cross-key, so a sorted map cannot be partitioned by key
+// hash without every iterator and navigation query taking every stripe)
+// and TransactionalQueue (all contention is at the two endpoints; there
+// is no key to stripe by).
 //
 // Caveat, matching the paper's single-handler design choice (§5.1
 // "Single versus multiple handlers"): collection operations performed
@@ -40,6 +55,9 @@
 package core
 
 import (
+	"hash/maphash"
+	"strconv"
+
 	"tcc/internal/collections"
 	"tcc/internal/semlock"
 	"tcc/internal/stm"
@@ -51,6 +69,19 @@ import (
 // single-CPU runtimes of the configurations in the paper's figures are
 // commensurable.
 const DefaultOpCost = 40
+
+// DefaultStripes is the stripe count NewStripedTransactionalMap uses
+// when the caller passes stripes <= 0.
+const DefaultStripes = 16
+
+// maxStripes bounds the stripe count so a transaction's touched-stripe
+// set fits one uint64 bitmask in its local state.
+const maxStripes = 64
+
+// stripeSeed hashes keys to stripes; one process-global seed keeps
+// StripeOf stable for a key across every map (and across the map and
+// the benchmarks that pick pairwise-disjoint stripes).
+var stripeSeed = maphash.MakeSeed()
 
 // mapWrite is one buffered write in the storeBuffer (Table 3: "map of
 // keys to new values, special value for removed keys").
@@ -81,6 +112,15 @@ type mapLocal[K comparable, V any] struct {
 	// queries enumerate local changes ordered instead of scanning the
 	// buffer (values and removal markers stay in storeBuffer).
 	sortedKeys *collections.TreeMap[K, struct{}]
+	// touched is the bitmask of stripes in this transaction's guard
+	// footprint for this instance: every stripe it read, wrote, or
+	// registered a size/empty lock in. The commit/abort handler pair is
+	// registered under the first touched stripe's guard; each later
+	// stripe widens the footprint (stm.Tx.AddTopGuard) so the handlers
+	// run with every touched stripe's guard held.
+	touched uint64
+	// registered records that the handler pair exists.
+	registered bool
 }
 
 // bufferKey records k in the buffer index (no-op for unsorted maps).
@@ -100,30 +140,50 @@ type sortedExt[K comparable, V any] struct {
 	lastLockers  *semlock.OwnerSet
 }
 
-// TransactionalMap wraps any collections.Map and provides concurrent,
-// atomically composable access from transactions, using semantic
-// concurrency control instead of memory-level dependencies (paper
-// §3.1). It offers the same operations as the underlying Map interface
-// and can serve as a drop-in replacement.
-type TransactionalMap[K comparable, V any] struct {
-	// guard is this instance's shard of the commit guard, fused with
-	// the mutex that protects the wrapped map and the lock tables:
-	// every open-nested critical section is short, locks exactly one
-	// guard, and never blocks on other instances, playing the role of
-	// the paper's low-level open-nested transactions. Commit and abort
-	// handlers are registered under it (OnTopCommitGuarded /
-	// OnTopAbortGuarded), so the STM holds it across the handler
-	// window and transactions on disjoint instances commit in
-	// parallel.
+// mapStripe is one shard of a TransactionalMap: a slice of the
+// committed state and of the semantic-lock tables, fused with its own
+// commit guard. Every key hashes to exactly one stripe, which holds
+// that key's committed mapping and key-lock entry; the size and empty
+// lock sets are sharded too — a size/empty reader registers in every
+// stripe's set, and a committing writer sweeps only the stripes whose
+// local size (or local emptiness) its buffer changed, under guards it
+// already holds. A reader is therefore still violated by any committing
+// insert or remove (the paper's Table 2 size semantics), but writers on
+// disjoint keys never touch a shared counter line or a shared lock set.
+type mapStripe[K comparable, V any] struct {
+	// guard is this stripe's shard of the commit guard, fused with the
+	// mutex that protects the stripe's slice of the wrapped map and the
+	// lock tables: open-nested critical sections on this stripe are
+	// short and lock only this guard, playing the role of the paper's
+	// low-level open-nested transactions. Handlers of transactions that
+	// touched this stripe run with it held (see mapLocal.touched).
 	guard *stm.Guard
-	// m holds the committed state (Table 3: "the underlying Map
-	// instance").
+	// m holds the stripe's committed state (Table 3: "the underlying
+	// Map instance").
 	m collections.Map[K, V]
 	// key2lockers and sizeLockers are the shared transaction state of
 	// Table 3; emptyLockers implements the §5.1 isEmpty refinement.
 	key2lockers  *semlock.KeyTable[K]
 	sizeLockers  *semlock.OwnerSet
 	emptyLockers *semlock.OwnerSet
+}
+
+// TransactionalMap wraps any collections.Map and provides concurrent,
+// atomically composable access from transactions, using semantic
+// concurrency control instead of memory-level dependencies (paper
+// §3.1). It offers the same operations as the underlying Map interface
+// and can serve as a drop-in replacement. See the package documentation
+// for the striped internal layout.
+type TransactionalMap[K comparable, V any] struct {
+	// stripes has power-of-two length in [1, maxStripes]; stripe guard
+	// ids are ascending in slice order (they are minted in order at
+	// construction), which is what lets lockGuards hold several at once
+	// without deadlocking against the commit protocol's sorted
+	// footprint acquisition.
+	stripes []*mapStripe[K, V]
+	// mask is len(stripes)-1; 0 means single-stripe and StripeOf skips
+	// hashing entirely.
+	mask uint64
 	// isEmptyViaSize makes IsEmpty take the size lock instead of the
 	// empty-transition lock, reproducing the §5.1 ablation.
 	isEmptyViaSize bool
@@ -148,27 +208,82 @@ type TransactionalMap[K comparable, V any] struct {
 	sorted *sortedExt[K, V]
 }
 
-// NewTransactionalMap wraps m. The wrapper assumes exclusive ownership:
-// all subsequent access must go through the wrapper.
-func NewTransactionalMap[K comparable, V any](m collections.Map[K, V]) *TransactionalMap[K, V] {
-	tm := &TransactionalMap[K, V]{
+// newMapStripe builds one stripe around the given committed shard.
+func newMapStripe[K comparable, V any](m collections.Map[K, V]) *mapStripe[K, V] {
+	return &mapStripe[K, V]{
 		guard:        stm.NewGuard(),
 		m:            m,
 		key2lockers:  semlock.NewKeyTable[K](),
 		sizeLockers:  semlock.NewOwnerSet(),
 		emptyLockers: semlock.NewOwnerSet(),
-		opCost:       DefaultOpCost,
+	}
+}
+
+// NewTransactionalMap wraps m. The wrapper assumes exclusive ownership:
+// all subsequent access must go through the wrapper. Because it adopts
+// one existing structure it is single-stripe; use
+// NewStripedTransactionalMap (which builds its own shards) when
+// disjoint-key operations on one hot map need to scale.
+func NewTransactionalMap[K comparable, V any](m collections.Map[K, V]) *TransactionalMap[K, V] {
+	tm := &TransactionalMap[K, V]{
+		stripes: []*mapStripe[K, V]{newMapStripe(m)},
+		opCost:  DefaultOpCost,
 	}
 	tm.SetName("map")
 	return tm
 }
 
+// NewStripedTransactionalMap creates a map sharded into the given
+// number of stripes (rounded up to a power of two, clamped to
+// [1, 64]; stripes <= 0 selects DefaultStripes). newShard is called
+// once per stripe to build that stripe's committed structure, so the
+// shards start empty and the wrapper owns them outright.
+func NewStripedTransactionalMap[K comparable, V any](newShard func() collections.Map[K, V], stripes int) *TransactionalMap[K, V] {
+	n := normalizeStripes(stripes)
+	tm := &TransactionalMap[K, V]{
+		stripes: make([]*mapStripe[K, V], n),
+		mask:    uint64(n - 1),
+		opCost:  DefaultOpCost,
+	}
+	if n == 1 {
+		tm.mask = 0
+	}
+	for i := range tm.stripes {
+		tm.stripes[i] = newMapStripe(newShard())
+	}
+	tm.SetName("map")
+	return tm
+}
+
+// normalizeStripes maps a requested stripe count to the supported
+// power-of-two range.
+func normalizeStripes(n int) int {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // SetName labels this instance in violation reasons so conflict
 // profiles (harness.FormatViolationProfile) attribute lost work to
-// specific structures.
+// specific structures. Striped instances label each stripe's guard
+// "name.stripe[i]" so guard-wait heatmaps show the stripes working.
 func (tm *TransactionalMap[K, V]) SetName(name string) {
 	tm.name = name
-	tm.guard.SetLabel(name)
+	if len(tm.stripes) == 1 {
+		tm.stripes[0].guard.SetLabel(name)
+	} else {
+		for i, st := range tm.stripes {
+			st.guard.SetLabel(name + ".stripe[" + strconv.Itoa(i) + "]")
+		}
+	}
 	tm.reasonKey = name + ": key conflict"
 	tm.reasonSize = name + ": size conflict"
 	tm.reasonEmpty = name + ": emptiness conflict"
@@ -180,9 +295,53 @@ func (tm *TransactionalMap[K, V]) SetName(name string) {
 // Name returns the label set by SetName.
 func (tm *TransactionalMap[K, V]) Name() string { return tm.name }
 
-// Guard returns the instance's commit guard, for code that composes
-// its own guarded handlers with this collection's commit window.
-func (tm *TransactionalMap[K, V]) Guard() *stm.Guard { return tm.guard }
+// Guard returns stripe 0's commit guard — the instance guard of a
+// single-stripe map. Code composing its own guarded handlers with a
+// striped map should use StripeGuard(k) for the key it works with.
+func (tm *TransactionalMap[K, V]) Guard() *stm.Guard { return tm.stripes[0].guard }
+
+// Stripes returns the number of stripes (1 unless built by
+// NewStripedTransactionalMap).
+func (tm *TransactionalMap[K, V]) Stripes() int { return len(tm.stripes) }
+
+// StripeOf returns the index of the stripe k hashes to.
+func (tm *TransactionalMap[K, V]) StripeOf(k K) int {
+	if tm.mask == 0 {
+		return 0
+	}
+	return int(maphash.Comparable(stripeSeed, k) & tm.mask)
+}
+
+// StripeGuard returns the commit guard of k's stripe, for code that
+// composes its own guarded handlers with operations on k.
+func (tm *TransactionalMap[K, V]) StripeGuard(k K) *stm.Guard {
+	return tm.stripes[tm.StripeOf(k)].guard
+}
+
+// guard0 returns stripe 0's guard: the instance guard of the
+// single-stripe sorted map, whose order-dependent code paths all
+// serialize on it.
+func (tm *TransactionalMap[K, V]) guard0() *stm.Guard { return tm.stripes[0].guard }
+
+// lockGuards locks every stripe guard, in ascending guard-id order
+// (slice order; see the stripes field). Whole-map snapshots need all
+// stripes pinned at once — a sequential stripe-at-a-time scan could see
+// half of a multi-stripe commit — and the ascending order keeps the
+// hold compatible with the commit protocol's sorted footprint
+// acquisition, so it cannot deadlock. stmlint classifies a lockGuards
+// call as opening a commit-guard hold window.
+func (tm *TransactionalMap[K, V]) lockGuards() {
+	for _, st := range tm.stripes {
+		st.guard.Lock()
+	}
+}
+
+// unlockGuards unlocks every stripe guard (closing the hold window).
+func (tm *TransactionalMap[K, V]) unlockGuards() {
+	for _, st := range tm.stripes {
+		st.guard.Unlock()
+	}
+}
 
 // SetOpCost overrides the abstract cycle cost charged per operation.
 func (tm *TransactionalMap[K, V]) SetOpCost(c uint64) { tm.opCost = c }
@@ -192,7 +351,9 @@ func (tm *TransactionalMap[K, V]) SetOpCost(c uint64) { tm.opCost = c }
 // attribute semantic aborts to individual keys, at the price of one
 // formatting allocation per violated transaction. Call during setup.
 func (tm *TransactionalMap[K, V]) SetKeyedConflicts(on bool) {
-	tm.key2lockers.SetKeyedReasons(on)
+	for _, st := range tm.stripes {
+		st.key2lockers.SetKeyedReasons(on)
+	}
 }
 
 // SetIsEmptyViaSize toggles the §5.1 ablation: when true, IsEmpty takes
@@ -206,9 +367,12 @@ func (tm *TransactionalMap[K, V]) SetIsEmptyViaSize(v bool) { tm.isEmptyViaSize 
 func (tm *TransactionalMap[K, V]) SetEagerWriteCheck(v bool) { tm.eagerWriteCheck = v }
 
 // local returns this transaction's local state for this instance,
-// creating it — and registering the transaction's single commit and
-// abort handler pair — on first use (paper §5: "registered by the first
-// open-nested transaction to commit").
+// creating it on first use. For a single-stripe instance the commit and
+// abort handler pair is registered immediately (paper §5: "registered
+// by the first open-nested transaction to commit"); a striped instance
+// defers registration to the first touch so the footprint starts with
+// the stripe actually used instead of pinning stripe 0 into every
+// transaction's footprint.
 func (tm *TransactionalMap[K, V]) local(tx *stm.Tx) *mapLocal[K, V] {
 	if l, ok := tx.Local(tm).(*mapLocal[K, V]); ok {
 		return l
@@ -221,29 +385,82 @@ func (tm *TransactionalMap[K, V]) local(tx *stm.Tx) *mapLocal[K, V] {
 		l.sortedKeys = collections.NewTreeMapFunc[K, struct{}](tm.sorted.sm.Compare)
 	}
 	tx.SetLocal(tm, l)
+	if len(tm.stripes) == 1 {
+		l.touched = 1
+		tm.register(tx, l)
+	}
+	return l
+}
+
+// register installs the transaction's single commit/abort handler pair
+// for this instance under the guard of the first stripe it touched.
+// The handler bodies take no lock themselves: the commit/rollback
+// protocol holds every touched stripe's guard (the footprint widened by
+// touch) for the whole handler window.
+func (tm *TransactionalMap[K, V]) register(tx *stm.Tx, l *mapLocal[K, V]) {
+	l.registered = true
+	g := tm.stripes[firstStripe(l.touched)].guard
 	h := tx.Handle()
 	th := tx.Thread()
-	// The handler bodies take no lock themselves: the commit/rollback
-	// protocol already holds tm.guard for the whole handler window.
-	tx.OnTopCommitGuarded(tm.guard, func() {
+	tx.OnTopCommitGuarded(g, func() {
 		n := len(l.storeBuffer)
 		tm.applyLocked(l, h)
 		th.DeferTick(tm.opCost * uint64(1+n))
 	})
-	tx.OnTopAbortGuarded(tm.guard, func() {
+	tx.OnTopAbortGuarded(g, func() {
 		tm.releaseLocked(l, h)
 		th.DeferTick(tm.opCost)
 	})
-	return l
+}
+
+// firstStripe returns the index of the lowest set bit of a touched
+// mask (the mask is never zero when this is called).
+func firstStripe(mask uint64) int {
+	i := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		i++
+	}
+	return i
+}
+
+// touch adds stripe si to the transaction's footprint for this
+// instance, registering the handler pair on the first touch and
+// widening the root-level guard footprint on later ones, and returns
+// the stripe. It must run before (not inside) the open-nested critical
+// section that locks the stripe's guard: registration itself takes no
+// lock, and the footprint must be in place before the transaction can
+// reach a handler window that walks the stripe.
+func (tm *TransactionalMap[K, V]) touch(tx *stm.Tx, l *mapLocal[K, V], si int) *mapStripe[K, V] {
+	st := tm.stripes[si]
+	bit := uint64(1) << uint(si)
+	if l.touched&bit != 0 {
+		return st
+	}
+	l.touched |= bit
+	if !l.registered {
+		tm.register(tx, l)
+		return st
+	}
+	tx.AddTopGuard(st.guard)
+	return st
+}
+
+// touchAll puts every stripe into the footprint (whole-map operations:
+// Size, IsEmpty, iteration).
+func (tm *TransactionalMap[K, V]) touchAll(tx *stm.Tx, l *mapLocal[K, V]) {
+	for si := range tm.stripes {
+		tm.touch(tx, l, si)
+	}
 }
 
 // lockKeyLocked takes (idempotently) the key lock for k on behalf of h.
-// Caller holds tm.guard.
+// Caller holds k's stripe guard.
 func (tm *TransactionalMap[K, V]) lockKeyLocked(l *mapLocal[K, V], h semlock.Owner, k K) {
 	if _, ok := l.keyLocks[k]; ok {
 		return
 	}
-	tm.key2lockers.Lock(k, h)
+	tm.stripes[tm.StripeOf(k)].key2lockers.Lock(k, h)
 	l.keyLocks[k] = struct{}{}
 }
 
@@ -260,13 +477,14 @@ func (tm *TransactionalMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
 		}
 		return w.val, true
 	}
+	st := tm.touch(tx, l, tm.StripeOf(k))
 	var v V
 	var present bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.guard.Lock()
-		defer tm.guard.Unlock()
+		st.guard.Lock()
+		defer st.guard.Unlock()
 		tm.lockKeyLocked(l, o.Handle(), k)
-		v, present = tm.m.Get(k)
+		v, present = st.m.Get(k)
 		return nil
 	})
 	tx.Thread().Clock.Tick(tm.opCost)
@@ -305,13 +523,16 @@ func (tm *TransactionalMap[K, V]) Put(tx *stm.Tx, k K, v V) (V, bool) {
 
 // PutUnread buffers a mapping of k to v without reading or locking the
 // old value: two transactions blindly writing the same key commute and
-// may commit in either order (the paper's "LastModified" example).
+// may commit in either order (the paper's "LastModified" example). The
+// key's stripe still joins the guard footprint — the commit handler
+// will apply the write there.
 func (tm *TransactionalMap[K, V]) PutUnread(tx *stm.Tx, k K, v V) {
 	l := tm.local(tx)
 	if w, ok := l.storeBuffer[k]; ok {
 		w.val, w.removed = v, false
 		return
 	}
+	tm.touch(tx, l, tm.StripeOf(k))
 	l.storeBuffer[k] = &mapWrite[V]{val: v}
 	l.bufferKey(k)
 	tx.Thread().Clock.Tick(tm.opCost / 4)
@@ -346,6 +567,7 @@ func (tm *TransactionalMap[K, V]) RemoveUnread(tx *stm.Tx, k K) {
 		w.val, w.removed = zero, true
 		return
 	}
+	tm.touch(tx, l, tm.StripeOf(k))
 	l.storeBuffer[k] = &mapWrite[V]{removed: true}
 	l.bufferKey(k)
 	tx.Thread().Clock.Tick(tm.opCost / 4)
@@ -367,38 +589,41 @@ func (tm *TransactionalMap[K, V]) readCommitted(tx *stm.Tx, l *mapLocal[K, V], k
 }
 
 func (tm *TransactionalMap[K, V]) readCommittedWrite(tx *stm.Tx, l *mapLocal[K, V], k K, forWrite bool) (V, bool) {
+	st := tm.touch(tx, l, tm.StripeOf(k))
 	var v V
 	var present bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.guard.Lock()
-		defer tm.guard.Unlock()
+		st.guard.Lock()
+		defer st.guard.Unlock()
 		h := o.Handle()
 		tm.lockKeyLocked(l, h, k)
 		if forWrite && tm.eagerWriteCheck {
-			tm.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+			st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
 		}
-		v, present = tm.m.Get(k)
+		v, present = st.m.Get(k)
 		return nil
 	})
 	tx.Thread().Clock.Tick(tm.opCost)
 	return v, present
 }
 
-// resolveBlindLocked pins down the committed presence of every blindly
-// written key (taking its key lock) so the buffer's net size effect is
-// well defined. Caller holds tm.guard.
-func (tm *TransactionalMap[K, V]) resolveBlindLocked(l *mapLocal[K, V], h semlock.Owner) {
+// resolveBlindStripeLocked pins down the committed presence of every
+// blindly written key that hashes to stripe si (taking its key lock) so
+// the buffer's net size effect is well defined. Caller holds stripe
+// si's guard.
+func (tm *TransactionalMap[K, V]) resolveBlindStripeLocked(st *mapStripe[K, V], si int, l *mapLocal[K, V], h semlock.Owner) {
 	for k, w := range l.storeBuffer {
-		if w.knownCommitted == nil {
+		if w.knownCommitted == nil && tm.StripeOf(k) == si {
 			tm.lockKeyLocked(l, h, k)
-			p := tm.m.ContainsKey(k)
+			p := st.m.ContainsKey(k)
 			w.knownCommitted = &p
 		}
 	}
 }
 
 // deltaLocked is the Table 3 delta: the buffer's net change to the
-// map's size. Caller holds tm.guard and has resolved blind writes.
+// map's size. The caller has resolved blind writes; only this
+// transaction's local state is read.
 func (tm *TransactionalMap[K, V]) deltaLocked(l *mapLocal[K, V]) int {
 	d := 0
 	for _, w := range l.storeBuffer {
@@ -414,19 +639,34 @@ func (tm *TransactionalMap[K, V]) deltaLocked(l *mapLocal[K, V]) int {
 }
 
 // Size returns the number of mappings as seen by tx: the committed size
-// plus the buffer's delta. It takes the size lock, so any committing
-// transaction that changes the size aborts this one (Table 2).
+// plus the buffer's delta. It takes the size lock on every stripe, so
+// any committing transaction that changes any stripe's size aborts this
+// one (Table 2's "size conflicts with any insert or remove").
+//
+// The stripes are scanned one at a time — lock the stripe guard,
+// register in its size-lock table, read its committed size, unlock —
+// rather than under all guards at once. The sum is still serializable:
+// a writer committing between two of the scan's steps sweeps the
+// size-lock tables of every stripe it changes, and this transaction is
+// already registered in the stripes it has passed, so any commit that
+// could have torn the sum also violates this transaction, which then
+// cannot commit (the same opacity-by-violation argument as the paper's
+// open-nested reads).
 func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
 	l := tm.local(tx)
+	tm.touchAll(tx, l)
 	n := 0
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.guard.Lock()
-		defer tm.guard.Unlock()
 		h := o.Handle()
-		tm.sizeLockers.Lock(h)
+		for si, st := range tm.stripes {
+			st.guard.Lock()
+			st.sizeLockers.Lock(h)
+			tm.resolveBlindStripeLocked(st, si, l, h)
+			n += st.m.Size()
+			st.guard.Unlock()
+		}
 		l.sizeLocked = true
-		tm.resolveBlindLocked(l, h)
-		n = tm.m.Size() + tm.deltaLocked(l)
+		n += tm.deltaLocked(l)
 		return nil
 	})
 	tx.Thread().Clock.Tick(tm.opCost)
@@ -437,21 +677,30 @@ func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
 // discussion prescribes, it is a primitive operation with its own
 // empty-transition lock: it conflicts only with commits that change
 // emptiness, not with every size change, so two transactions running
-// "if !m.IsEmpty() { m.Put(...) }" on a non-empty map commute.
+// "if !m.IsEmpty() { m.Put(...) }" on a non-empty map commute. On a
+// striped map the empty lock is registered per stripe and a committing
+// writer sweeps a stripe's set when that stripe's local emptiness
+// flips — conservative (a stripe can flip while the whole map stays
+// non-empty) but never missing a global transition, since a global flip
+// requires some stripe to flip.
 func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
 	if tm.isEmptyViaSize {
 		return tm.Size(tx) == 0
 	}
 	l := tm.local(tx)
+	tm.touchAll(tx, l)
 	n := 0
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.guard.Lock()
-		defer tm.guard.Unlock()
 		h := o.Handle()
-		tm.emptyLockers.Lock(h)
+		for si, st := range tm.stripes {
+			st.guard.Lock()
+			st.emptyLockers.Lock(h)
+			tm.resolveBlindStripeLocked(st, si, l, h)
+			n += st.m.Size()
+			st.guard.Unlock()
+		}
 		l.emptyLocked = true
-		tm.resolveBlindLocked(l, h)
-		n = tm.m.Size() + tm.deltaLocked(l)
+		n += tm.deltaLocked(l)
 		return nil
 	})
 	tx.Thread().Clock.Tick(tm.opCost)
@@ -459,25 +708,34 @@ func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
 }
 
 // applyLocked is the commit handler's body: apply the buffer to the
-// underlying map, violate conflicting semantic lock holders (Table 2's
-// "Write Conflict" column), and release this transaction's locks.
-// Caller holds tm.guard.
+// underlying stripes, violate conflicting semantic lock holders (Table
+// 2's "Write Conflict" column), and release this transaction's locks.
+// The commit protocol holds every touched stripe's guard; the buffer's
+// keys all hash to touched stripes (touch precedes buffering).
 func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner) {
-	oldSize := tm.m.Size()
+	var oldSizes [maxStripes]int
+	if len(l.storeBuffer) > 0 {
+		for si, st := range tm.stripes {
+			if l.touched&(uint64(1)<<uint(si)) != 0 {
+				oldSizes[si] = st.m.Size()
+			}
+		}
+	}
 	var oldFirst, oldLast *K
 	if tm.sorted != nil && len(l.storeBuffer) > 0 {
 		oldFirst, oldLast = tm.endpointsLocked()
 	}
 	for k, w := range l.storeBuffer {
+		st := tm.stripes[tm.StripeOf(k)]
 		// Key conflict based on argument: abort every other reader (or
 		// locking writer) of this key.
-		tm.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+		st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
 		var membershipChanged bool
 		if w.removed {
-			_, had := tm.m.Remove(k)
+			_, had := st.m.Remove(k)
 			membershipChanged = had
 		} else {
-			_, had := tm.m.Put(k, w.val)
+			_, had := st.m.Put(k, w.val)
 			membershipChanged = !had
 		}
 		if tm.sorted != nil && membershipChanged {
@@ -485,12 +743,23 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 			tm.sorted.rangeLockers.ViolateCovering(k, h, tm.reasonRange)
 		}
 	}
-	newSize := tm.m.Size()
-	if newSize != oldSize {
-		tm.sizeLockers.ViolateOthers(h, tm.reasonSize)
-	}
-	if (oldSize == 0) != (newSize == 0) {
-		tm.emptyLockers.ViolateOthers(h, tm.reasonEmpty)
+	if len(l.storeBuffer) > 0 {
+		// Size and empty sweeps are per stripe: a size/empty reader is
+		// registered in every stripe's set, so sweeping just the stripes
+		// whose local size changed still violates every reader, while
+		// disjoint-key writers never sweep (or resize) a shared set.
+		for si, st := range tm.stripes {
+			if l.touched&(uint64(1)<<uint(si)) == 0 {
+				continue
+			}
+			newSize := st.m.Size()
+			if newSize != oldSizes[si] {
+				st.sizeLockers.ViolateOthers(h, tm.reasonSize)
+			}
+			if (oldSizes[si] == 0) != (newSize == 0) {
+				st.emptyLockers.ViolateOthers(h, tm.reasonEmpty)
+			}
+		}
 	}
 	if tm.sorted != nil && len(l.storeBuffer) > 0 {
 		newFirst, newLast := tm.endpointsLocked()
@@ -505,7 +774,8 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 }
 
 // endpointsLocked returns the committed first and last keys (nil when
-// the map is empty). Caller holds tm.guard; only valid for sorted maps.
+// the map is empty). Caller holds the instance guard; only valid for
+// sorted maps (single-stripe).
 func (tm *TransactionalMap[K, V]) endpointsLocked() (first, last *K) {
 	if f, ok := tm.sorted.sm.FirstKey(); ok {
 		first = &f
@@ -528,17 +798,23 @@ func (tm *TransactionalMap[K, V]) sameKey(a, b *K) bool {
 
 // releaseLocked releases every semantic lock held by this transaction
 // on this instance and clears its local state; it is both the tail of
-// the commit handler and the whole of the abort handler. Caller holds
-// tm.guard.
+// the commit handler and the whole of the abort handler. The protocol
+// holds every touched stripe's guard; all of this transaction's locks
+// live on touched stripes (size/empty locks imply every stripe was
+// touched).
 func (tm *TransactionalMap[K, V]) releaseLocked(l *mapLocal[K, V], h semlock.Owner) {
 	for k := range l.keyLocks {
-		tm.key2lockers.Unlock(k, h)
+		tm.stripes[tm.StripeOf(k)].key2lockers.Unlock(k, h)
 	}
 	if l.sizeLocked {
-		tm.sizeLockers.Unlock(h)
+		for _, st := range tm.stripes {
+			st.sizeLockers.Unlock(h)
+		}
 	}
 	if l.emptyLocked {
-		tm.emptyLockers.Unlock(h)
+		for _, st := range tm.stripes {
+			st.emptyLockers.Unlock(h)
+		}
 	}
 	if tm.sorted != nil {
 		for _, e := range l.rangeLocks {

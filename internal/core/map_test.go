@@ -104,10 +104,10 @@ func TestMapAbortDiscardsBuffer(t *testing.T) {
 		}
 	})
 	// All semantic locks must have been released by the abort handler.
-	if tm.key2lockers.Locked(1) || tm.key2lockers.Locked(2) {
+	if tm.stripes[tm.StripeOf(1)].key2lockers.Locked(1) || tm.stripes[tm.StripeOf(2)].key2lockers.Locked(2) {
 		t.Error("abort leaked key locks")
 	}
-	if tm.sizeLockers.Len() != 0 {
+	if tm.stripes[0].sizeLockers.Len() != 0 {
 		t.Error("abort leaked size lock")
 	}
 }
@@ -146,16 +146,16 @@ func TestMapLocksHeldDuringTxReleasedAfter(t *testing.T) {
 	atomically(t, th, func(tx *stm.Tx) {
 		h = tx.Handle()
 		tm.Get(tx, 7)
-		tm.guard.Lock()
-		held := tm.key2lockers.Holds(7, h)
-		tm.guard.Unlock()
+		tm.lockGuards()
+		held := tm.stripes[tm.StripeOf(7)].key2lockers.Holds(7, h)
+		tm.unlockGuards()
 		if !held {
 			t.Error("key lock not held during transaction")
 		}
 	})
-	tm.guard.Lock()
-	defer tm.guard.Unlock()
-	if tm.key2lockers.Locked(7) {
+	tm.lockGuards()
+	defer tm.unlockGuards()
+	if tm.stripes[tm.StripeOf(7)].key2lockers.Locked(7) {
 		t.Error("key lock survived commit")
 	}
 }
@@ -228,7 +228,7 @@ func TestMapIsEmptyUsesEmptyLock(t *testing.T) {
 		}
 	})
 	// The empty lock, not the size lock, must have been taken.
-	if tm.sizeLockers.Len() != 0 {
+	if tm.stripes[0].sizeLockers.Len() != 0 {
 		t.Error("IsEmpty took the size lock")
 	}
 }
@@ -260,9 +260,9 @@ func TestMapIteratorMergesBufferAndCommitted(t *testing.T) {
 			}
 		}
 		// Full enumeration reveals the size: the size lock must be held.
-		tm.guard.Lock()
-		n := tm.sizeLockers.Len()
-		tm.guard.Unlock()
+		tm.lockGuards()
+		n := tm.stripes[0].sizeLockers.Len()
+		tm.unlockGuards()
 		if n != 1 {
 			t.Fatal("full enumeration did not take the size lock")
 		}
@@ -283,9 +283,9 @@ func TestMapIteratorEarlyStopTakesNoSizeLock(t *testing.T) {
 			count++
 			return count < 3
 		})
-		tm.guard.Lock()
-		n := tm.sizeLockers.Len()
-		tm.guard.Unlock()
+		tm.lockGuards()
+		n := tm.stripes[0].sizeLockers.Len()
+		tm.unlockGuards()
 		if n != 0 {
 			t.Error("partial enumeration took the size lock")
 		}

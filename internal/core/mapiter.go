@@ -42,14 +42,23 @@ type mapEntry[K comparable, V any] struct {
 
 // Iterator creates an iterator over the map's entries as seen by tx.
 // Enumeration order is implementation-defined (like HashMap's).
+//
+// The committed-keys snapshot is taken with every stripe guard held at
+// once (lockGuards): a stripe-at-a-time scan could observe half of a
+// multi-stripe commit — its insert on a later stripe but not its insert
+// on an earlier one — with no violation to save it, since enumeration
+// takes no lock that such a commit sweeps until the keys are visited.
 func (tm *TransactionalMap[K, V]) Iterator(tx *stm.Tx) *MapIterator[K, V] {
 	l := tm.local(tx)
+	tm.touchAll(tx, l)
 	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 2) and documented not to outlive tx
 	it := &MapIterator[K, V]{tm: tm, tx: tx, l: l}
 	_ = tx.Open(func(o *stm.Tx) error {
-		tm.guard.Lock()
-		defer tm.guard.Unlock()
-		it.snapshot = tm.m.Keys()
+		tm.lockGuards()
+		defer tm.unlockGuards()
+		for _, st := range tm.stripes {
+			it.snapshot = append(it.snapshot, st.m.Keys()...)
+		}
 		inSnapshot := make(map[K]struct{}, len(it.snapshot))
 		for _, k := range it.snapshot {
 			inSnapshot[k] = struct{}{}
@@ -77,14 +86,15 @@ func (it *MapIterator[K, V]) advance() (K, V, bool) {
 		}
 		var val V
 		var live bool
+		st := tm.stripes[tm.StripeOf(k)]
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.guard.Lock()
-			defer tm.guard.Unlock()
+			st.guard.Lock()
+			defer st.guard.Unlock()
 			tm.lockKeyLocked(l, o.Handle(), k)
 			if w, ok := l.storeBuffer[k]; ok {
 				val, live = w.val, !w.removed
 			} else {
-				val, live = tm.m.Get(k)
+				val, live = st.m.Get(k)
 			}
 			return nil
 		})
@@ -104,9 +114,10 @@ func (it *MapIterator[K, V]) advance() (K, V, bool) {
 		if !ok || w.removed {
 			continue
 		}
+		st := tm.stripes[tm.StripeOf(k)]
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.guard.Lock()
-			defer tm.guard.Unlock()
+			st.guard.Lock()
+			defer st.guard.Unlock()
 			tm.lockKeyLocked(l, o.Handle(), k)
 			return nil
 		})
@@ -131,9 +142,12 @@ func (it *MapIterator[K, V]) HasNext() bool {
 		it.done = true
 		tm, l := it.tm, it.l
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			tm.guard.Lock()
-			defer tm.guard.Unlock()
-			tm.sizeLockers.Lock(o.Handle())
+			h := o.Handle()
+			for _, st := range tm.stripes {
+				st.guard.Lock()
+				st.sizeLockers.Lock(h)
+				st.guard.Unlock()
+			}
 			l.sizeLocked = true
 			return nil
 		})

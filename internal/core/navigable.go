@@ -21,7 +21,7 @@ import (
 
 // mergedCeilingLocked returns the smallest live key >= k (> k when
 // strict), merging committed state (skipping buffered removals) with
-// buffered additions. Caller holds t.guard.
+// buffered additions. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedCeilingLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -54,7 +54,7 @@ func (t *TransactionalSortedMap[K, V]) mergedCeilingLocked(l *mapLocal[K, V], k 
 	return *best, true
 }
 
-// mergedFloorLocked is the descending mirror. Caller holds t.guard.
+// mergedFloorLocked is the descending mirror. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedFloorLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -93,8 +93,8 @@ func (t *TransactionalSortedMap[K, V]) navigateUp(tx *stm.Tx, k K, strict bool) 
 	var res K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.guard.Lock()
-		defer t.guard.Unlock()
+		t.guard0().Lock()
+		defer t.guard0().Unlock()
 		h := o.Handle()
 		res, ok = t.mergedCeilingLocked(l, k, strict)
 		lo := k
@@ -120,8 +120,8 @@ func (t *TransactionalSortedMap[K, V]) navigateDown(tx *stm.Tx, k K, strict bool
 	var res K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.guard.Lock()
-		defer t.guard.Unlock()
+		t.guard0().Lock()
+		defer t.guard0().Unlock()
 		h := o.Handle()
 		res, ok = t.mergedFloorLocked(l, k, strict)
 		hi := k

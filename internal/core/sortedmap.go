@@ -17,16 +17,15 @@ type TransactionalSortedMap[K comparable, V any] struct {
 
 // NewTransactionalSortedMap wraps sm. The wrapper assumes exclusive
 // ownership of sm; the comparator is captured at construction and is
-// thereafter read-only (Table 6).
+// thereafter read-only (Table 6). Sorted maps are always single-stripe:
+// range and endpoint locks are inherently cross-key, so hash-striping
+// the keys would force every iterator and navigation query to take
+// every stripe anyway (see the package documentation's striping note).
 func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, V]) *TransactionalSortedMap[K, V] {
 	t := &TransactionalSortedMap[K, V]{
 		TransactionalMap: TransactionalMap[K, V]{
-			guard:        stm.NewGuard(),
-			m:            sm,
-			key2lockers:  semlock.NewKeyTable[K](),
-			sizeLockers:  semlock.NewOwnerSet(),
-			emptyLockers: semlock.NewOwnerSet(),
-			opCost:       DefaultOpCost,
+			stripes: []*mapStripe[K, V]{newMapStripe[K, V](sm)},
+			opCost:  DefaultOpCost,
 		},
 	}
 	t.sorted = &sortedExt[K, V]{
@@ -45,7 +44,7 @@ func (t *TransactionalSortedMap[K, V]) Compare(a, b K) int { return t.sorted.sm.
 // bufferCeilingLocked returns the smallest buffered non-removed key
 // >= *k (> *k when strict); k == nil starts from the buffer's minimum.
 // It walks the sortedStoreBuffer index (Table 6), skipping removal
-// markers. Caller holds t.guard.
+// markers. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) bufferCeilingLocked(l *mapLocal[K, V], k *K, strict bool) (K, bool) {
 	var cand K
 	var ok bool
@@ -91,7 +90,7 @@ func (t *TransactionalSortedMap[K, V]) bufferFloorLocked(l *mapLocal[K, V], k *K
 
 // mergedFirstLocked returns the smallest live key as seen by this
 // transaction: the smallest committed key that is not buffered-removed,
-// merged with the smallest buffered addition. Caller holds t.guard.
+// merged with the smallest buffered addition. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -117,7 +116,7 @@ func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, 
 }
 
 // mergedLastLocked is the mirror of mergedFirstLocked. Caller holds
-// t.guard.
+// the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedLastLocked(l *mapLocal[K, V]) (K, bool) {
 	sm := t.sorted.sm
 	var committed *K
@@ -151,8 +150,8 @@ func (t *TransactionalSortedMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
 	var k K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.guard.Lock()
-		defer t.guard.Unlock()
+		t.guard0().Lock()
+		defer t.guard0().Unlock()
 		t.sorted.firstLockers.Lock(o.Handle())
 		l.firstLocked = true
 		k, ok = t.mergedFirstLocked(l)
@@ -168,8 +167,8 @@ func (t *TransactionalSortedMap[K, V]) LastKey(tx *stm.Tx) (K, bool) {
 	var k K
 	var ok bool
 	_ = tx.Open(func(o *stm.Tx) error {
-		t.guard.Lock()
-		defer t.guard.Unlock()
+		t.guard0().Lock()
+		defer t.guard0().Unlock()
 		t.sorted.lastLockers.Lock(o.Handle())
 		l.lastLocked = true
 		k, ok = t.mergedLastLocked(l)
@@ -218,8 +217,8 @@ func (it *SortedIterator[K, V]) advance() (K, V, bool) {
 	var outV V
 	found := false
 	_ = it.tx.Open(func(o *stm.Tx) error {
-		t.guard.Lock()
-		defer t.guard.Unlock()
+		t.guard0().Lock()
+		defer t.guard0().Unlock()
 		h := o.Handle()
 		if it.lock == nil {
 			it.lock = &semlock.RangeEntry[K]{Owner: h}
@@ -331,8 +330,8 @@ func (it *SortedIterator[K, V]) HasNext() bool {
 		it.done = true
 		t, l := it.t, it.l
 		_ = it.tx.Open(func(o *stm.Tx) error {
-			t.guard.Lock()
-			defer t.guard.Unlock()
+			t.guard0().Lock()
+			defer t.guard0().Unlock()
 			if it.hi == nil {
 				// "hasNext is false" on an unbounded iterator reveals
 				// the last key (Table 5).

@@ -451,3 +451,71 @@ func TestCompoundConfigs(p MapBenchParams) []Config {
 		},
 	}
 }
+
+// StripedMapConfigs builds the intra-collection striping pair (figure
+// 5): ONE shared map in both configurations, with each worker
+// transacting over its own disjoint key range. Because no two workers
+// ever touch the same key, every cross-worker interaction comes from
+// the map's internal structure: the baseline single-guard
+// TransactionalMap funnels all commit-handler windows (and the shared
+// size counter's lock table) through one guard, while the striped map
+// gives disjoint-key writers disjoint stripe guards and per-stripe
+// counters, so their critical sections and handler windows never meet.
+func StripedMapConfigs(p MapBenchParams) []Config {
+	// One key range per possible worker; DefaultCPUs tops out at 32.
+	const maxWorkers = 64
+	runOp := func(w *Worker, tm *core.TransactionalMap[int, int], op opKind, k int) {
+		// Offset the drawn key into the worker's private range.
+		k += (w.Index % maxWorkers) * p.KeySpace
+		MustAtomic(w.Thread, func(tx *stm.Tx) error {
+			w.Compute(p.Compute / 2)
+			switch op {
+			case opRead:
+				tm.Get(tx, k)
+			case opPut:
+				tm.Put(tx, k, k)
+			default:
+				tm.Remove(tx, k)
+			}
+			w.Compute(p.Compute / 2)
+			return nil
+		})
+	}
+	prepopulate := func(tm *core.TransactionalMap[int, int]) *core.TransactionalMap[int, int] {
+		th := setupThread()
+		for r := 0; r < maxWorkers; r++ {
+			base := r * p.KeySpace
+			MustAtomic(th, func(tx *stm.Tx) error {
+				for i := 0; i < p.Prepopulate; i++ {
+					tm.Put(tx, base+i, i)
+				}
+				return nil
+			})
+		}
+		return tm
+	}
+	return []Config{
+		{
+			Name: "Single-guard TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := prepopulate(core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]()))
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					runOp(w, tm, op, k)
+				}
+			},
+		},
+		{
+			Name: "Striped TransactionalMap",
+			Setup: func(pl Platform) func(w *Worker) {
+				tm := prepopulate(core.NewStripedTransactionalMap[int, int](func() collections.Map[int, int] {
+					return collections.NewHashMap[int, int]()
+				}, core.DefaultStripes))
+				return func(w *Worker) {
+					op, k := p.drawOp(w)
+					runOp(w, tm, op, k)
+				}
+			},
+		},
+	}
+}

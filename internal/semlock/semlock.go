@@ -15,7 +15,6 @@ package semlock
 
 import (
 	"fmt"
-	"sort"
 
 	"tcc/internal/stm"
 )
@@ -35,14 +34,39 @@ func orderedOwners(buf []Owner, set map[Owner]struct{}) []Owner {
 	for o := range set {
 		buf = append(buf, o)
 	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i].ID() < buf[j].ID() })
+	sortOwners(buf)
 	return buf
+}
+
+// sortOwners orders buf ascending by Handle.ID. Insertion sort: owner
+// sets are a handful of transactions, and unlike sort.Slice this keeps
+// the sweep allocation-free (no interface boxing, no closure).
+func sortOwners(buf []Owner) {
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j].ID() < buf[j-1].ID(); j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+}
+
+// recycleSweep clears a sweep buffer for reuse: the Owner pointers are
+// dropped so a recycled buffer does not pin dead transaction handles,
+// but the backing array is kept — the same recycling discipline as the
+// STM's level and commit scratch pools. Each table owns one sweep
+// buffer; the collection's critical section that guards the table also
+// serializes the sweeps, so a single buffer per table suffices.
+func recycleSweep(buf []Owner) []Owner {
+	for i := range buf {
+		buf[i] = nil
+	}
+	return buf[:0]
 }
 
 // OwnerSet is a single abstract lock — the size lock, the empty lock,
 // or a first/last endpoint lock — held by any number of readers.
 type OwnerSet struct {
 	owners map[Owner]struct{}
+	sweep  []Owner // recycled violation-sweep scratch (see recycleSweep)
 }
 
 // NewOwnerSet creates an empty lock.
@@ -70,7 +94,8 @@ func (s *OwnerSet) Len() int { return len(s.owners) }
 // Violate calls actually landed on still-active transactions.
 func (s *OwnerSet) ViolateOthers(self Owner, reason string) int {
 	n := 0
-	for _, o := range orderedOwners(make([]Owner, 0, len(s.owners)), s.owners) {
+	s.sweep = orderedOwners(s.sweep, s.owners)
+	for _, o := range s.sweep {
 		if o == self {
 			continue
 		}
@@ -78,6 +103,7 @@ func (s *OwnerSet) ViolateOthers(self Owner, reason string) int {
 			n++
 		}
 	}
+	s.sweep = recycleSweep(s.sweep)
 	return n
 }
 
@@ -92,6 +118,7 @@ type KeyTable[K comparable] struct {
 	// allocation per violated transaction, and it splits one logical
 	// hotspot across as many heatmap rows as there are hot keys.
 	keyed bool
+	sweep []Owner // recycled violation-sweep scratch (see recycleSweep)
 }
 
 // NewKeyTable creates an empty table.
@@ -141,7 +168,8 @@ func (t *KeyTable[K]) Locked(k K) bool { return len(t.lockers[k]) > 0 }
 func (t *KeyTable[K]) ViolateOthers(k K, self Owner, reason string) int {
 	n := 0
 	detailed := ""
-	for _, o := range orderedOwners(make([]Owner, 0, len(t.lockers[k])), t.lockers[k]) {
+	t.sweep = orderedOwners(t.sweep, t.lockers[k])
+	for _, o := range t.sweep {
 		if o == self {
 			continue
 		}
@@ -156,6 +184,7 @@ func (t *KeyTable[K]) ViolateOthers(k K, self Owner, reason string) int {
 			n++
 		}
 	}
+	t.sweep = recycleSweep(t.sweep)
 	return n
 }
 
@@ -180,6 +209,7 @@ type RangeEntry[K comparable] struct {
 type RangeTable[K comparable] struct {
 	cmp     func(a, b K) int
 	entries map[*RangeEntry[K]]struct{}
+	sweep   []Owner // recycled violation-sweep scratch (see recycleSweep)
 }
 
 // NewRangeTable creates an empty table ordered by cmp.
@@ -218,14 +248,14 @@ func (t *RangeTable[K]) Covers(e *RangeEntry[K], k K) bool {
 // ViolateCovering aborts the owner of every range containing k, other
 // than self, in ascending owner handle-id order (see orderedOwners).
 func (t *RangeTable[K]) ViolateCovering(k K, self Owner, reason string) int {
-	victims := make([]Owner, 0, len(t.entries))
+	victims := t.sweep
 	for e := range t.entries {
 		if e.Owner == self || !t.Covers(e, k) {
 			continue
 		}
 		victims = append(victims, e.Owner)
 	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i].ID() < victims[j].ID() })
+	sortOwners(victims)
 	n := 0
 	var prev Owner
 	for _, o := range victims {
@@ -239,5 +269,6 @@ func (t *RangeTable[K]) ViolateCovering(k K, self Owner, reason string) int {
 			n++
 		}
 	}
+	t.sweep = recycleSweep(victims)
 	return n
 }

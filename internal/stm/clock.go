@@ -44,11 +44,27 @@ type RealClock struct {
 // took time, so nothing else happens.
 func (c *RealClock) Tick(cycles uint64) { c.now += cycles }
 
+// maxWaitYields caps how many times one Wait call yields the processor.
+// Backoff cycles grow exponentially with the retry attempt; without a
+// cap a long backoff degrades into a busy Gosched storm (cycles/64
+// yields) that burns the very CPU the backoff is meant to cede.
+const maxWaitYields = 64
+
+// waitYields maps a stall of the given length to a number of scheduler
+// yields: proportional for short stalls, clamped at maxWaitYields.
+func waitYields(cycles uint64) uint64 {
+	y := cycles/64 + 1
+	if y > maxWaitYields {
+		return maxWaitYields
+	}
+	return y
+}
+
 // Wait backs off by yielding the processor, roughly proportionally to
-// the requested cycles.
+// the requested cycles, capped so pathological backoffs do not spin.
 func (c *RealClock) Wait(cycles uint64) {
 	c.now += cycles
-	for i := uint64(0); i < cycles/64+1; i++ {
+	for i := uint64(0); i < waitYields(cycles); i++ {
 		runtime.Gosched()
 	}
 }

@@ -1,0 +1,38 @@
+package stm
+
+import "testing"
+
+// TestWaitYieldCap: RealClock.Wait's backoff loop yields proportionally
+// to the stall for short waits but is capped at maxWaitYields — before
+// the cap, a large exponential backoff (cycles in the tens of
+// thousands) degenerated into cycles/64 Gosched calls, a busy spin that
+// burned the CPU the backoff was supposed to cede.
+func TestWaitYieldCap(t *testing.T) {
+	cases := []struct {
+		cycles uint64
+		want   uint64
+	}{
+		{0, 1},
+		{63, 1},
+		{64, 2},
+		{64 * (maxWaitYields - 1), maxWaitYields},
+		{64 * maxWaitYields, maxWaitYields},
+		{1 << 20, maxWaitYields},
+		{^uint64(0), maxWaitYields},
+	}
+	for _, c := range cases {
+		if got := waitYields(c.cycles); got != c.want {
+			t.Errorf("waitYields(%d) = %d, want %d", c.cycles, got, c.want)
+		}
+	}
+}
+
+// TestWaitAdvancesClock: Wait still charges the full stall to the
+// worker-local clock regardless of the yield cap.
+func TestWaitAdvancesClock(t *testing.T) {
+	c := &RealClock{}
+	c.Wait(1 << 30) // would be ~16M yields uncapped
+	if c.Now() != 1<<30 {
+		t.Fatalf("Now() = %d after Wait(1<<30)", c.Now())
+	}
+}

@@ -22,7 +22,10 @@ import (
 // set in ascending id order before anything else, then try-locks the
 // write-set lockwords (non-blocking, so they cannot deadlock against
 // the guards); the collections' own open-nested critical sections lock
-// exactly one guard at a time. Together these make the protocol
+// either exactly one guard at a time or — for operations that must see
+// every stripe of a striped collection at once, like an iterator
+// snapshot — several guards in the same ascending id order the commit
+// protocol uses (core's lockGuards). Together these make the protocol
 // deadlock-free.
 //
 // Handler bodies are short critical sections and must not charge

@@ -226,6 +226,119 @@ func TestOverlappingGuardFootprintStress(t *testing.T) {
 	}
 }
 
+// TestNestedFootprintMerge: a closed-nested child that registered
+// guarded handlers under stripes {a, b} commits into a parent that had
+// registered under {b, c}; the merged level must carry exactly the
+// union {a, b, c}, deduplicated — the footprint the striped collections
+// rely on when a child touches stripes its parent has not.
+func TestNestedFootprintMerge(t *testing.T) {
+	a, b, c := NewGuard(), NewGuard(), NewGuard()
+	th := newTestThread()
+	err := th.Atomic(func(tx *Tx) error {
+		tx.OnCommitGuarded(b, func() {})
+		tx.OnCommitGuarded(c, func() {})
+		if err := tx.Nested(func() error {
+			tx.OnCommitGuarded(a, func() {})
+			tx.OnCommitGuarded(b, func() {})
+			return nil
+		}); err != nil {
+			return err
+		}
+		got := make(map[*Guard]bool, len(tx.cur.commitGuards))
+		for _, g := range tx.cur.commitGuards {
+			got[g] = true
+		}
+		if len(tx.cur.commitGuards) != 3 || !got[a] || !got[b] || !got[c] {
+			t.Fatalf("merged commit footprint has %d guards (a=%v b=%v c=%v), want exactly {a,b,c}",
+				len(tx.cur.commitGuards), got[a], got[b], got[c])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddTopGuardWidensFootprint: AddTopGuard must land the guard in
+// both the commit and the abort footprint of the root level, from any
+// nesting depth — including a closed-nested child and an open-nested
+// child, which is where the striped map's touch() calls it from.
+func TestAddTopGuardWidensFootprint(t *testing.T) {
+	a, b, c := NewGuard(), NewGuard(), NewGuard()
+	th := newTestThread()
+	err := th.Atomic(func(tx *Tx) error {
+		tx.AddTopGuard(a)
+		if err := tx.Nested(func() error {
+			tx.AddTopGuard(b)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.Open(func(o *Tx) error {
+			o.AddTopGuard(c)
+			return nil
+		}); err != nil {
+			return err
+		}
+		root := tx.rootLevel()
+		for _, set := range [][]*Guard{root.commitGuards, root.abortGuards} {
+			got := make(map[*Guard]bool, len(set))
+			for _, g := range set {
+				got[g] = true
+			}
+			if len(set) != 3 || !got[a] || !got[b] || !got[c] {
+				t.Fatalf("root footprint = %d guards (a=%v b=%v c=%v), want {a,b,c} in both lists",
+					len(set), got[a], got[b], got[c])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddTopGuardHeldDuringHandlers: a guard added with AddTopGuard —
+// no handler of its own — is held across the commit handler window and
+// the abort handler window, which is what makes it safe for one
+// handler to walk several stripes.
+func TestAddTopGuardHeldDuringHandlers(t *testing.T) {
+	a, b := NewGuard(), NewGuard()
+	th := newTestThread()
+	heldAtCommit := false
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.OnCommitGuarded(a, func() {
+			heldAtCommit = !b.mu.TryLock()
+			if !heldAtCommit {
+				b.mu.Unlock()
+			}
+		})
+		tx.AddTopGuard(b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !heldAtCommit {
+		t.Fatal("AddTopGuard'd guard not held during the commit handler window")
+	}
+	heldAtAbort := false
+	if err := th.Atomic(func(tx *Tx) error {
+		tx.OnAbortGuarded(a, func() {
+			heldAtAbort = !b.mu.TryLock()
+			if !heldAtAbort {
+				b.mu.Unlock()
+			}
+		})
+		tx.AddTopGuard(b)
+		return errRollback
+	}); err != errRollback {
+		t.Fatalf("rollback returned %v", err)
+	}
+	if !heldAtAbort {
+		t.Fatal("AddTopGuard'd guard not held during the abort handler window")
+	}
+}
+
 // TestGuardWaitEventEmitted: contended guarded commits surface as
 // guard.wait events with the guard's label, emitted outside the window.
 func TestGuardWaitEventEmitted(t *testing.T) {

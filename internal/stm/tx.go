@@ -409,6 +409,21 @@ func (tx *Tx) OnTopAbortGuarded(g *Guard, fn func()) {
 	l.abortGuards = addGuard(l.abortGuards, g)
 }
 
+// AddTopGuard widens the top-level transaction's guard footprint with g
+// without registering a handler: g joins both the commit and the abort
+// footprint of the root level, so the commit protocol (and any rollback)
+// acquires it in id order alongside the guards that do carry handlers.
+// Striped collections use this when a transaction's single commit/abort
+// handler pair is already registered under the first stripe it touched
+// and a later operation touches another stripe: the handler will walk
+// every touched stripe, so each additional stripe's guard must be in the
+// footprint before the handler window opens.
+func (tx *Tx) AddTopGuard(g *Guard) {
+	l := tx.top().rootLevel()
+	l.commitGuards = addGuard(l.commitGuards, g)
+	l.abortGuards = addGuard(l.abortGuards, g)
+}
+
 func (tx *Tx) rootLevel() *level {
 	l := tx.cur
 	for l.parent != nil {

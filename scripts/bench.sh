@@ -24,8 +24,9 @@ note=${BENCH_NOTE:-}
 {
   # STM hot-path microbenchmarks (allocation-reporting).
   go test -run '^$' -bench 'BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" ./internal/stm
-  # Wall-clock operation benches and simulator figure regenerations.
-  go test -run '^$' -bench 'BenchmarkReal|BenchmarkFigure' -benchmem -benchtime "$time" -count "$count" .
+  # Wall-clock operation benches, simulator figure regenerations, and
+  # the root-level STM demonstration benches (striped hot-map pair).
+  go test -run '^$' -bench 'BenchmarkReal|BenchmarkFigure|BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" .
 } | tee /dev/stderr | go run ./cmd/benchjson -note "$note" > "$out"
 
 echo "bench: wrote $out" >&2

@@ -30,6 +30,11 @@ echo "== disjoint-commit smoke (sharded guard footprints overlap)"
 go test -run 'TestDisjointHandlerWindowsOverlap|TestGuardFreeRollbackTakesNoGuard' \
   -count=1 ./internal/stm >/dev/null
 
+echo "== striped-map smoke (disjoint-key windows overlap + figure 5 sim run)"
+go test -run 'TestStripedDisjointKeyHandlerWindowsOverlap|TestStripedMapConflicts' \
+  -count=1 ./internal/core >/dev/null
+go run ./cmd/tccbench -fig 5 -ops 64 -cpus 1,2 >/dev/null
+
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
 
