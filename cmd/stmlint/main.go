@@ -6,99 +6,217 @@
 //
 // Usage:
 //
-//	stmlint [-rules] [packages]
+//	stmlint [-rules] [-json] [-timing] [packages]
 //
 //	stmlint ./...             # whole module
 //	stmlint ./internal/core   # one package directory
+//	stmlint -json ./...       # machine-readable report
 //	stmlint -rules            # list rule IDs
 //
-// Diagnostics print as file:line:col: rule-id: message. Exit status is
+// Diagnostics print as file:line:col: rule-id: message; -json instead
+// emits one report object {"diagnostics": [...], "suppressed": n} on
+// stdout. -timing prints per-rule wall time to stderr. Exit status is
 // 0 when clean, 1 when any diagnostic is reported, 2 on load or usage
 // errors. Individual findings can be suppressed with a comment on, or
 // immediately above, the offending line:
 //
 //	//stmlint:ignore rule-id reason
+//
+// Packages are loaded once (parsing in parallel, type-checking
+// serially — the source importer is single-threaded), then checked
+// concurrently against one module-wide call graph; output order is
+// deterministic regardless of worker scheduling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"tcc/internal/analysis"
 )
 
 func main() {
-	rulesFlag := flag.Bool("rules", false, "list rule IDs and exit")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: stmlint [-rules] [packages]")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], mustGetwd(), os.Stdout, os.Stderr))
+}
 
-	if *rulesFlag {
-		for _, r := range analysis.Rules() {
-			fmt.Printf("%-18s %s\n", r.ID, r.Doc)
-		}
-		return
-	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	n, err := run(patterns)
+func mustGetwd() string {
+	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stmlint:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
-		os.Exit(1)
-	}
+	return cwd
 }
 
-// run lints the packages matched by patterns and returns the number of
-// diagnostics printed.
-func run(patterns []string) (int, error) {
-	cwd, err := os.Getwd()
-	if err != nil {
-		return 0, err
+// jsonDiagnostic is one finding in the -json report.
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json output: every surviving diagnostic plus how
+// many were suppressed by //stmlint:ignore directives.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Suppressed  int              `json:"suppressed"`
+}
+
+// realMain is main with its environment made explicit, so the CLI tests
+// run it in-process: args are the command-line arguments (without the
+// program name), cwd anchors relative patterns and output paths, and
+// the exit code is returned instead of passed to os.Exit.
+func realMain(args []string, cwd string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.Bool("rules", false, "list rule IDs and exit")
+	jsonFlag := fs.Bool("json", false, "report diagnostics as JSON on stdout")
+	timingFlag := fs.Bool("timing", false, "print per-rule wall time to stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: stmlint [-rules] [-json] [-timing] [packages]")
+		fs.PrintDefaults()
 	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *rulesFlag {
+		for _, r := range analysis.Rules() {
+			fmt.Fprintf(stdout, "%-24s %s\n", r.ID, r.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	report, ruleTime, err := run(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "stmlint:", err)
+		return 2
+	}
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "stmlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range report.Diagnostics {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Rule, d.Message)
+		}
+	}
+	if *timingFlag {
+		ids := make([]string, 0, len(ruleTime))
+		for id := range ruleTime {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(stderr, "%-24s %8.1fms\n", id, float64(ruleTime[id].Microseconds())/1000)
+		}
+	}
+	if len(report.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// run lints the packages matched by patterns: load them all (plus their
+// module-internal dependencies), build one call graph spanning every
+// loaded package, then check the requested ones concurrently against
+// it. Diagnostics come back sorted by package, then position.
+func run(cwd string, patterns []string) (*jsonReport, map[string]time.Duration, error) {
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	paths, err := expand(loader, cwd, patterns)
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
-	total := 0
+
+	dirs := make([]string, 0, len(paths))
+	pkgDir := make(map[string]string, len(paths))
 	for _, path := range paths {
 		rel, ok := strings.CutPrefix(path, loader.ModulePath)
 		if !ok {
-			return total, fmt.Errorf("package %s is outside module %s", path, loader.ModulePath)
+			return nil, nil, fmt.Errorf("package %s is outside module %s", path, loader.ModulePath)
 		}
 		dir := filepath.Join(loader.ModuleDir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
-		pkg, err := loader.LoadDir(dir, path)
+		dirs = append(dirs, dir)
+		pkgDir[path] = dir
+	}
+	loader.Preparse(dirs)
+
+	pkgs := make([]*analysis.Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := loader.LoadDir(pkgDir[path], path)
 		if err != nil {
-			return total, err
+			return nil, nil, err
 		}
 		if len(pkg.TypeErrors) > 0 {
-			return total, fmt.Errorf("type errors in %s: %v", path, pkg.TypeErrors[0])
+			return nil, nil, fmt.Errorf("type errors in %s: %v", path, pkg.TypeErrors[0])
 		}
-		for _, d := range analysis.Check(loader.Fset, pkg) {
-			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
-			fmt.Println(d)
-			total++
+		pkgs = append(pkgs, pkg)
+	}
+
+	// The graph spans every package the loader pulled in — requested or
+	// imported — so reachability does not stop at the boundary of the
+	// requested set.
+	graph := analysis.BuildCallGraph(loader.Fset, loader.Packages())
+
+	// Check in parallel; results land in a per-package slot so output
+	// order is the (sorted) expansion order, not completion order.
+	results := make([]analysis.Result, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *analysis.Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = analysis.CheckWithGraph(loader.Fset, pkg, graph)
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	report := &jsonReport{Diagnostics: []jsonDiagnostic{}}
+	ruleTime := make(map[string]time.Duration)
+	for _, res := range results {
+		report.Suppressed += res.Suppressed
+		for id, d := range res.RuleTime {
+			ruleTime[id] += d
+		}
+		for _, d := range res.Diagnostics {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				Rule:    d.Rule,
+				File:    relPath(cwd, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Message: d.Message,
+			})
 		}
 	}
-	return total, nil
+	return report, ruleTime, nil
 }
 
 // expand resolves command-line patterns ("./...", "dir/...", plain

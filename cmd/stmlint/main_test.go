@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcc/internal/analysis"
+)
+
+// cli runs stmlint in-process with cwd anchored at testdata/<mod> and
+// returns the exit code and captured streams.
+func cli(t *testing.T, mod string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	code = realMain(args, dir, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	code, stdout, stderr := cli(t, "cleanmod", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout=%q stderr=%q)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("stdout = %q, want empty", stdout)
+	}
+}
+
+func TestDiagnosticsExitOne(t *testing.T) {
+	code, stdout, _ := cli(t, "badmod", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout=%q)", code, stdout)
+	}
+	if !strings.Contains(stdout, "commit-window-blocking") {
+		t.Errorf("stdout missing rule id: %q", stdout)
+	}
+	if !strings.Contains(stdout, "bad.go:16:") {
+		t.Errorf("stdout missing file:line position: %q", stdout)
+	}
+	if strings.Contains(stdout, "bad.go:23:") {
+		t.Errorf("suppressed finding leaked into output: %q", stdout)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	code, stdout, _ := cli(t, "badmod", "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stdout=%q)", code, stdout)
+	}
+	var report struct {
+		Diagnostics []struct {
+			Rule    string `json:"rule"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"diagnostics"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(report.Diagnostics) != 1 {
+		t.Fatalf("diagnostics = %d, want 1: %+v", len(report.Diagnostics), report)
+	}
+	d := report.Diagnostics[0]
+	if d.Rule != "commit-window-blocking" || d.File != "bad.go" || d.Line != 16 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+	if report.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", report.Suppressed)
+	}
+}
+
+func TestJSONCleanIsEmptyReport(t *testing.T) {
+	code, stdout, _ := cli(t, "cleanmod", "-json", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout=%q)", code, stdout)
+	}
+	var report struct {
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+		Suppressed  int               `json:"suppressed"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if report.Diagnostics == nil || len(report.Diagnostics) != 0 || report.Suppressed != 0 {
+		t.Errorf("want empty (non-null) diagnostics and 0 suppressed, got %s", stdout)
+	}
+}
+
+func TestPlainDirPattern(t *testing.T) {
+	// A plain directory pattern names exactly one package: the stm stub
+	// package is clean even though the module root is not.
+	code, stdout, stderr := cli(t, "badmod", "./stm")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout=%q stderr=%q)", code, stdout, stderr)
+	}
+	code, stdout, _ = cli(t, "badmod", ".")
+	if code != 1 || !strings.Contains(stdout, "bad.go:16:") {
+		t.Fatalf("exit = %d, stdout = %q; want the root package's finding", code, stdout)
+	}
+}
+
+func TestOutsideModulePatternFails(t *testing.T) {
+	code, _, stderr := cli(t, "badmod", "../../../../internal/stm")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr=%q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "outside the module") {
+		t.Errorf("stderr = %q, want outside-module error", stderr)
+	}
+}
+
+func TestRulesListing(t *testing.T) {
+	code, stdout, _ := cli(t, "cleanmod", "-rules")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, r := range analysis.Rules() {
+		if !strings.Contains(stdout, r.ID) || !strings.Contains(stdout, r.Doc) {
+			t.Errorf("-rules output missing %s", r.ID)
+		}
+	}
+}
+
+func TestTimingGoesToStderr(t *testing.T) {
+	code, stdout, stderr := cli(t, "cleanmod", "-json", "-timing", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !json.Valid([]byte(stdout)) {
+		t.Errorf("-timing corrupted the JSON stream: %q", stdout)
+	}
+	for _, r := range analysis.Rules() {
+		if !strings.Contains(stderr, r.ID) {
+			t.Errorf("timing output missing rule %s:\n%s", r.ID, stderr)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package main violates the commit-window discipline once openly (the
+// diagnostic stmlint must report, exiting 1) and once suppressed (the
+// count the -json report must carry).
+package main
+
+import (
+	"time"
+
+	"badmod/stm"
+)
+
+var guard = stm.NewGuard()
+
+func sleepy() {
+	guard.Lock()
+	time.Sleep(time.Millisecond)
+	guard.Unlock()
+}
+
+func excused() {
+	guard.Lock()
+	//stmlint:ignore commit-window-blocking exercising the suppressed count
+	time.Sleep(time.Millisecond)
+	guard.Unlock()
+}
+
+func main() {
+	sleepy()
+	excused()
+}

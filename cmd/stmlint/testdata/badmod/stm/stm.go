@@ -1,0 +1,18 @@
+// Package stm is a minimal stand-in for the real STM package (see
+// cleanmod/stm); the rules match it by import-path suffix.
+package stm
+
+// Guard is a commit guard stub.
+type Guard struct{ id uint64 }
+
+// NewGuard allocates a guard.
+func NewGuard() *Guard { return &Guard{} }
+
+// ID returns the guard's ordering identity.
+func (g *Guard) ID() uint64 { return g.id }
+
+// Lock acquires the guard.
+func (g *Guard) Lock() {}
+
+// Unlock releases the guard.
+func (g *Guard) Unlock() {}

@@ -1,0 +1,18 @@
+// Package main is a module that holds the transactional discipline:
+// stmlint must exit 0 on it.
+package main
+
+import "cleanmod/stm"
+
+var guard = stm.NewGuard()
+var counter int
+
+func bump() {
+	guard.Lock()
+	counter++
+	guard.Unlock()
+}
+
+func main() {
+	bump()
+}

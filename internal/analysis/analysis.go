@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one rule finding at a source position.
@@ -54,6 +55,8 @@ func Rules() []*Rule {
 		ruleHandlerTxn,
 		ruleUncheckedAtomic,
 		ruleTraceInCommit,
+		ruleGuardOrder,
+		ruleCommitBlocking,
 	}
 }
 
@@ -61,6 +64,11 @@ func Rules() []*Rule {
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	// Graph is the module-wide call graph the interprocedural rules
+	// (and the context classifier) consult. It spans at least the
+	// package under analysis; under cmd/stmlint and TestRepoClean it
+	// spans every package of the module.
+	Graph *CallGraph
 
 	rule  *Rule
 	diags *[]Diagnostic
@@ -75,15 +83,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Result is the outcome of checking one package: the surviving
+// diagnostics, how many were suppressed by //stmlint:ignore, and how
+// long each rule spent.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+	RuleTime    map[string]time.Duration
+}
+
 // Check runs every registered rule over pkg and returns the surviving
-// (non-suppressed) diagnostics sorted by position.
+// (non-suppressed) diagnostics sorted by position. The call graph is
+// built over the single package, which is what the hermetic fixture
+// tests want; whole-module callers build one graph with BuildCallGraph
+// and use CheckWithGraph.
 func Check(fset *token.FileSet, pkg *Package) []Diagnostic {
+	g := BuildCallGraph(fset, []*Package{pkg})
+	return CheckWithGraph(fset, pkg, g).Diagnostics
+}
+
+// CheckWithGraph runs every registered rule over pkg against a
+// prebuilt (typically module-wide) call graph. The graph is read-only
+// here, so multiple packages can be checked concurrently against the
+// same one.
+func CheckWithGraph(fset *token.FileSet, pkg *Package, g *CallGraph) Result {
 	var diags []Diagnostic
+	times := make(map[string]time.Duration)
 	for _, r := range Rules() {
-		p := &Pass{Fset: fset, Pkg: pkg, rule: r, diags: &diags}
+		start := time.Now()
+		p := &Pass{Fset: fset, Pkg: pkg, Graph: g, rule: r, diags: &diags}
 		r.Run(p)
+		times[r.ID] = time.Since(start)
 	}
-	diags = filterSuppressed(fset, pkg, diags)
+	diags, suppressed := filterSuppressed(fset, pkg, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -97,7 +129,7 @@ func Check(fset *token.FileSet, pkg *Package) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
+	return Result{Diagnostics: diags, Suppressed: suppressed, RuleTime: times}
 }
 
 // ignoreDirective is one parsed //stmlint:ignore comment.
@@ -135,10 +167,11 @@ func parseIgnore(text string) (ignoreDirective, bool) {
 }
 
 // filterSuppressed drops diagnostics covered by an //stmlint:ignore
-// directive. A directive applies to its own source line (end-of-line
-// comment) and to the line immediately following it (standalone comment
-// above the offending statement).
-func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+// directive, returning the survivors and the suppressed count. A
+// directive applies to its own source line (end-of-line comment) and
+// to the line immediately following it (standalone comment above the
+// offending statement).
+func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) ([]Diagnostic, int) {
 	// file name -> line -> directives active on that line
 	ignores := make(map[string]map[int][]ignoreDirective)
 	for _, f := range pkg.Files {
@@ -163,9 +196,10 @@ func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []D
 		}
 	}
 	if len(ignores) == 0 {
-		return diags
+		return diags, 0
 	}
 	kept := diags[:0]
+	dropped := 0
 	for _, d := range diags {
 		suppressed := false
 		for _, dir := range ignores[d.Pos.Filename][d.Pos.Line] {
@@ -174,11 +208,13 @@ func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []D
 				break
 			}
 		}
-		if !suppressed {
+		if suppressed {
+			dropped++
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	return kept, dropped
 }
 
 // forEachFile applies visit to every file of the pass's package.

@@ -122,6 +122,10 @@ func TestHandlerTxnFixture(t *testing.T)   { runFixture(t, "handlertxn") }
 func TestUncheckedFixture(t *testing.T)    { runFixture(t, "unchecked") }
 
 func TestTraceInCommitFixture(t *testing.T) { runFixture(t, "traceincommit") }
+func TestGuardOrderFixture(t *testing.T)    { runFixture(t, "guardorder") }
+func TestCommitBlockingFixture(t *testing.T) {
+	runFixture(t, "commitblocking")
+}
 
 // TestSuppress proves //stmlint:ignore silences exactly the named
 // rule: three suppressed violations yield nothing, and a directive for
@@ -132,7 +136,7 @@ func TestSuppress(t *testing.T) { runFixture(t, "suppress") }
 // each registered rule must fire somewhere in testdata.
 func TestEveryRuleHasFixture(t *testing.T) {
 	fired := make(map[string]bool)
-	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit"} {
+	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit", "guardorder", "commitblocking"} {
 		l, pkg := loadFixture(t, name)
 		for _, d := range analysis.Check(l.Fset, pkg) {
 			fired[d.Rule] = true
@@ -145,14 +149,17 @@ func TestEveryRuleHasFixture(t *testing.T) {
 	}
 }
 
-// TestRepoClean lints every package in the module, mirroring the
-// `stmlint ./...` CI gate: the repository must hold its own discipline.
+// TestRepoClean lints every package in the module against one
+// module-wide call graph, mirroring the `stmlint ./...` CI gate: the
+// repository must hold its own discipline, including the
+// interprocedural rules' cross-package reachability.
 func TestRepoClean(t *testing.T) {
 	l := getLoader(t)
 	paths, err := l.ModulePackages()
 	if err != nil {
 		t.Fatal(err)
 	}
+	var pkgs []*analysis.Package
 	for _, path := range paths {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
 		pkg, err := l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)), path)
@@ -162,8 +169,12 @@ func TestRepoClean(t *testing.T) {
 		if len(pkg.TypeErrors) > 0 {
 			t.Fatalf("type errors in %s: %v", path, pkg.TypeErrors[0])
 		}
-		for _, d := range analysis.Check(l.Fset, pkg) {
-			t.Errorf("%s: %s", path, d)
+		pkgs = append(pkgs, pkg)
+	}
+	g := analysis.BuildCallGraph(l.Fset, pkgs)
+	for _, pkg := range pkgs {
+		for _, d := range analysis.CheckWithGraph(l.Fset, pkg, g).Diagnostics {
+			t.Errorf("%s: %s", pkg.Path, d)
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcc/internal/analysis"
+)
+
+// TestDesignRuleTable keeps DESIGN.md §8 honest: the rule table's ID
+// column must list exactly the registered rules, in registration
+// order. A rule added, renamed, or removed without its documentation
+// row fails here, not in review.
+func TestDesignRuleTable(t *testing.T) {
+	l := getLoader(t)
+	data, err := os.ReadFile(filepath.Join(l.ModuleDir, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	start := strings.Index(text, "## 8.")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no section 8")
+	}
+	end := strings.Index(text[start:], "\n## 9.")
+	if end < 0 {
+		end = len(text) - start
+	}
+	section := text[start : start+end]
+
+	var documented []string
+	for _, line := range strings.Split(section, "\n") {
+		rest, ok := strings.CutPrefix(line, "| `")
+		if !ok {
+			continue
+		}
+		id, _, ok := strings.Cut(rest, "`")
+		if !ok {
+			continue
+		}
+		documented = append(documented, id)
+	}
+
+	var registered []string
+	for _, r := range analysis.Rules() {
+		registered = append(registered, r.ID)
+	}
+	if strings.Join(documented, " ") != strings.Join(registered, " ") {
+		t.Errorf("DESIGN.md §8 rule table out of sync with analysis.Rules():\n  documented: %v\n  registered: %v",
+			documented, registered)
+	}
+}

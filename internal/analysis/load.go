@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package together with everything
@@ -49,6 +51,14 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	// preparsed caches files parsed ahead of time by Preparse, keyed by
+	// absolute file path. Parsing is the one loader stage that is safe
+	// to parallelize (FileSet is locked internally; type-checking is not
+	// parallel-safe because the source importer shares state), so
+	// callers that know their package set up front can parse it across
+	// cores before the serial type-checking walk begins.
+	preparsed map[string]*ast.File
 }
 
 // NewLoader creates a loader for the module rooted at moduleDir, which
@@ -154,7 +164,12 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+		path := filepath.Join(dir, name)
+		if f, ok := l.preparsed[path]; ok {
+			files = append(files, f)
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
@@ -184,6 +199,78 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// Preparse parses every buildable Go file of the given package
+// directories in parallel and caches the syntax trees for LoadDir.
+// Parse errors are deferred: the file is left out of the cache and
+// LoadDir re-parses it serially, reporting the error with its usual
+// context. Must be called before the corresponding LoadDir calls, not
+// concurrently with them.
+func (l *Loader) Preparse(dirs []string) {
+	var paths []string
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") ||
+				strings.HasPrefix(name, "_") {
+				continue
+			}
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	if l.preparsed == nil {
+		l.preparsed = make(map[string]*ast.File, len(paths))
+	}
+	pending := paths[:0]
+	for _, path := range paths {
+		if _, ok := l.preparsed[path]; !ok {
+			pending = append(pending, path)
+		}
+	}
+	// Workers fill a private map; l.preparsed itself is only touched
+	// before dispatch and after the final Wait.
+	parsed := make(map[string]*ast.File, len(pending))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, path := range pending {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f, err := parser.ParseFile(l.Fset, path, nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			parsed[path] = f
+			mu.Unlock()
+		}(path)
+	}
+	wg.Wait()
+	for path, f := range parsed {
+		l.preparsed[path] = f
+	}
+}
+
+// Packages returns every module package the loader has loaded so far,
+// sorted by import path — the package universe a module-wide call
+// graph should span.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // ModulePackages returns the import paths of every buildable package in

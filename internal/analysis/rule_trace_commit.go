@@ -14,13 +14,13 @@ import (
 // commit sharing that guard behind it. Conflict attribution inside the
 // window is limited to plain field stores (stm's noteConflict and
 // noteGuardWait); emission happens after the guards are released. This
-// rule makes that boundary machine-checked: between a window-opening
-// statement — a Guard.Lock() call, a call to a function named
-// acquireGuards (the protocol's footprint acquisition), or a call to a
-// lockGuards helper (a striped collection's all-stripes sweep) — and
-// the matching Guard.Unlock() / releaseGuards() / unlockGuards(), no
-// statement — nor any same-package function called from one — may call
-// into the obs package or construct an obs value.
+// rule makes that boundary machine-checked over the whole module: no
+// statement of a guard-hold window or handler body — nor anything
+// reachable from one through the call graph, across packages — may
+// call into the obs package or construct an obs value. Lexical
+// violations are reported at the offending expression; reachable ones
+// at the in-window call site, with the call chain in the message, so
+// any suppression stays next to the window that owns the problem.
 var ruleTraceInCommit = &Rule{
 	ID:  "trace-in-commit",
 	Doc: "observability emission (obs call or obs value construction) inside a commit-guard hold window",
@@ -34,171 +34,63 @@ func isObsPath(path string) bool {
 }
 
 func runTraceInCommit(p *Pass) {
-	info := p.Pkg.Info
-
-	// Map declared functions to their bodies so in-window calls can be
-	// followed one package deep.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	p.forEachFile(func(f *ast.File) {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
-				}
-			}
-		}
+	g := p.Graph
+	// The search stops at obs package boundaries: the forbidden thing
+	// is entering obs (or building its values) with a guard held, which
+	// the *edge* into obs already is — descending inside would only
+	// produce longer chains for the same finding.
+	searcher := g.newSearcher(func(n *callNode) []effect {
+		return obsEffectsIn(g, n.pkg.Info, n.decl.Body)
+	}, func(fn *types.Func) bool {
+		return fn.Pkg() != nil && isObsPath(fn.Pkg().Path())
 	})
 
-	// guarded collects same-package functions invoked with the guard
-	// held; their bodies run inside the window even though the Lock call
-	// is not lexically visible in them.
-	guarded := make(map[*types.Func]bool)
-
+	info := p.Pkg.Info
+	seen := make(map[string]bool)
+	check := func(stmts []ast.Stmt, where string) {
+		p.reportLexical(stmts, func(root ast.Node) []effect {
+			return obsEffectsIn(g, info, root)
+		}, seen, func(desc string) string {
+			return desc + " inside a " + where + "; emit after the guard is released — a tracer sink is user code and event assembly allocates, and neither may run under a commit guard"
+		})
+		p.reportReach(stmts, searcher, seen, func(head, chain string) string {
+			return "call to " + head + " inside a " + where + " reaches observability emission (" + chain + "); emit after the guard is released"
+		})
+	}
 	p.forEachFile(func(f *ast.File) {
-		ast.Inspect(f, func(n ast.Node) bool {
-			block, ok := n.(*ast.BlockStmt)
-			if !ok {
-				return true
-			}
-			held := false
-			for _, stmt := range block.List {
-				if !held && stmtOpensGuardWindow(info, stmt) {
-					held = true
-				}
-				if held {
-					p.reportObsRefs(stmt, "")
-					collectPackageCallees(info, stmt, guarded)
-					if stmtClosesGuardWindow(info, stmt) {
-						held = false
-					}
-				}
-			}
-			return true
+		p.forEachGuardWindow(f, func(w guardWindow) {
+			check(w.body, "commit-guard hold window")
+		})
+		p.forEachHandlerBody(f, func(body *ast.BlockStmt) {
+			check(body.List, "commit/abort handler (which runs with its guard held)")
 		})
 	})
-
-	// Follow the guarded functions transitively within the package.
-	visited := make(map[*types.Func]bool)
-	queue := make([]*types.Func, 0, len(guarded))
-	for fn := range guarded {
-		queue = append(queue, fn)
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		if visited[fn] {
-			continue
-		}
-		visited[fn] = true
-		fd, ok := decls[fn]
-		if !ok {
-			continue
-		}
-		p.reportObsRefs(fd.Body, fn.Name())
-		more := make(map[*types.Func]bool)
-		collectPackageCallees(info, fd.Body, more)
-		for callee := range more {
-			if !visited[callee] {
-				queue = append(queue, callee)
-			}
-		}
-	}
 }
 
-// stmtOpensGuardWindow reports whether stmt directly opens a
-// commit-guard hold window: it calls stm.Guard.Lock (the collections'
-// fused critical sections), a function named acquireGuards (the commit
-// protocol's blocking footprint acquisition — matched by name so the
-// rule works both on the stm package's unexported helper and on
-// fixtures that model it), or a function or method named lockGuards (a
-// striped collection's all-stripes acquisition helper: a loop locking
-// every stripe guard in ascending id order, e.g. for an iterator
-// snapshot — everything after it runs with the whole instance's guards
-// held). Deferred calls and function literals do not count: a defer
-// runs at function return, and a closure body runs whenever it is
-// invoked — neither changes whether a guard is held at the statements
-// that follow.
-func stmtOpensGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Lock", "acquireGuards", "lockGuards")
-}
-
-// stmtClosesGuardWindow reports whether stmt directly closes the
-// window: Guard.Unlock, or a call to a function named releaseGuards or
-// a function or method named unlockGuards.
-func stmtClosesGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards", "unlockGuards")
-}
-
-// stmtGuardOp matches three shapes of guard transition under stmt: the
-// Guard method itself (type-checked against the stm package), a free
-// function named freeName (acquireGuards/releaseGuards take the guard
-// slice as an argument, so a method of that name would be something
-// else), and a helper named helperName with or without a receiver —
-// striped collections hang lockGuards/unlockGuards off the instance
-// whose stripes they sweep.
-func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName string) bool {
-	found := false
-	ast.Inspect(stmt, func(n ast.Node) bool {
+// obsEffectsIn collects references to the obs package lexically on the
+// synchronous path under root: calls whose callee is declared in obs
+// (including interface methods like Tracer.Trace) and composite
+// literals of obs types.
+func obsEffectsIn(g *CallGraph, info *types.Info, root ast.Node) []effect {
+	var effs []effect
+	g.inspectSyncPath(root, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.DeferStmt, *ast.FuncLit:
-			return false
 		case *ast.CallExpr:
-			if isSTMMethod(info, n, "Guard", method) {
-				found = true
-			} else if fn := calleeFunc(info, n); fn != nil {
-				if fn.Name() == freeName && recvNamed(fn) == nil {
-					found = true
-				} else if fn.Name() == helperName {
-					found = true
-				}
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// reportObsRefs flags calls into the obs package (including interface
-// methods like Tracer.Trace, whose declaring package is obs) and
-// composite literals of obs types under n. via names the guarded
-// function the reference was reached through, for call-chain context;
-// it is empty when the reference is lexically inside the window.
-func (p *Pass) reportObsRefs(n ast.Node, via string) {
-	info := p.Pkg.Info
-	suffix := ""
-	if via != "" {
-		suffix = " (in " + via + ", which runs with the commit guard held)"
-	}
-	ast.Inspect(n, func(c ast.Node) bool {
-		switch c := c.(type) {
-		case *ast.CallExpr:
-			fn := calleeFunc(info, c)
+			fn := calleeFunc(info, n)
 			if fn != nil && fn.Pkg() != nil && isObsPath(fn.Pkg().Path()) {
-				p.Reportf(c.Pos(), "call to obs.%s inside a commit-guard hold window%s; emit after the guard is released — a tracer sink is user code and must not run under a commit guard", fn.Name(), suffix)
+				effs = append(effs, effect{n.Pos(), "call to obs." + fn.Name()})
 			}
 		case *ast.CompositeLit:
-			if tv, ok := info.Types[c]; ok {
+			if tv, ok := info.Types[n]; ok {
 				if named, ok := tv.Type.(*types.Named); ok {
 					obj := named.Origin().Obj()
 					if obj.Pkg() != nil && isObsPath(obj.Pkg().Path()) {
-						p.Reportf(c.Pos(), "constructing obs.%s inside a commit-guard hold window%s; event assembly allocates and belongs after the guard is released", obj.Name(), suffix)
+						effs = append(effs, effect{n.Pos(), "constructing obs." + obj.Name()})
 					}
 				}
 			}
 		}
 		return true
 	})
-}
-
-// collectPackageCallees records every function or method of the package
-// under analysis that n calls.
-func collectPackageCallees(info *types.Info, n ast.Node, out map[*types.Func]bool) {
-	ast.Inspect(n, func(c ast.Node) bool {
-		if call, ok := c.(*ast.CallExpr); ok {
-			if fn := calleeFunc(info, call); fn != nil {
-				out[fn] = true
-			}
-		}
-		return true
-	})
+	return effs
 }

@@ -2,13 +2,10 @@
 package fixture
 
 import (
-	"sync"
-
 	"tcc/internal/stm"
 )
 
 type registry struct {
-	mu      sync.Mutex
 	commits int
 	owner   *stm.Handle
 }
@@ -56,17 +53,17 @@ func handlerCapturesTx(th *stm.Thread) error {
 }
 
 // clean: the collection-class pattern — capture Handle and Thread
-// before registering; the handler compensates on non-transactional
-// state under its own mutex and charges time via DeferTick.
+// before registering; the handler compensates with plain stores (the
+// commit protocol already holds the registered guard for the whole
+// handler window, so the handler takes no lock of its own) and charges
+// time via DeferTick.
 func cleanHandler(th *stm.Thread, reg *registry) error {
 	return th.Atomic(func(tx *stm.Tx) error {
 		h := tx.Handle()
 		thd := tx.Thread()
 		tx.OnTopCommit(func() {
-			reg.mu.Lock()
 			reg.commits++
 			reg.owner = h
-			reg.mu.Unlock()
 			thd.DeferTick(8)
 		})
 		return nil

@@ -1,0 +1,64 @@
+// Edge cases of //stmlint:ignore placement and scope, including
+// interaction with the interprocedural rules (whose diagnostics land on
+// the in-window call site, which is what makes call-site suppression
+// possible at all).
+package fixture
+
+import (
+	"time"
+
+	"tcc/internal/stm"
+)
+
+var edgeGuard = stm.NewGuard()
+
+// A comma-separated directive suppresses each named rule: the line
+// below violates both guard-order (second guard while one is held) and
+// nothing else — and the directive also names commit-window-blocking,
+// which is legal even though it never fires here.
+func multiRuleIgnore(other *stm.Guard) {
+	edgeGuard.Lock()
+	//stmlint:ignore guard-order,commit-window-blocking reviewed nesting
+	other.Lock()
+	other.Unlock()
+	edgeGuard.Unlock()
+}
+
+// A multi-rule directive that names only rules which do NOT fire on
+// the line leaves the real finding standing.
+func multiRulePartial(th *stm.Thread) {
+	//stmlint:ignore guard-order,commit-window-blocking wrong rules for this line
+	_ = th.Atomic(func(tx *stm.Tx) error { return nil }) // want unchecked-atomic
+}
+
+// A directive covers its own line and the line immediately below —
+// but not two lines below.
+func twoLinesAbove() {
+	edgeGuard.Lock()
+	//stmlint:ignore commit-window-blocking too far away to cover the sleep
+
+	time.Sleep(time.Millisecond) // want commit-window-blocking
+	edgeGuard.Unlock()
+}
+
+// Same-line (end-of-line) suppression of an interprocedural finding:
+// the diagnostic is reported at the in-window call site, so the
+// comment sits on the call, not on the callee that actually blocks.
+func eolOnCallSite(ch chan int) {
+	edgeGuard.Lock()
+	edgeNotify(ch) //stmlint:ignore commit-window-blocking drained by a dedicated receiver
+	edgeGuard.Unlock()
+}
+
+func edgeNotify(ch chan int) {
+	ch <- 1
+}
+
+// A directive above a call site suppresses the reachable finding the
+// same way it suppresses a lexical one.
+func aboveCallSite(ch chan int) {
+	edgeGuard.Lock()
+	//stmlint:ignore commit-window-blocking drained by a dedicated receiver
+	edgeNotify(ch)
+	edgeGuard.Unlock()
+}

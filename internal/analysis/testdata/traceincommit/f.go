@@ -91,10 +91,13 @@ func stripedSnapshotWindow(tr obs.Tracer, m *stripedMap) {
 }
 
 // lockAndCall reaches emission through a same-package call chain; the
-// diagnostics land on the emitting lines of the callees.
+// diagnostic lands on the in-window call site, carrying the chain
+// (helper → deeper → call to obs.SetTracer) in its message, so a
+// suppression comment stays next to the window that owns the problem
+// rather than on a callee shared with innocent callers.
 func lockAndCall() {
 	guard.Lock()
-	helper()
+	helper() // want trace-in-commit
 	guard.Unlock()
 }
 
@@ -103,7 +106,7 @@ func helper() {
 }
 
 func deeper() {
-	obs.SetTracer(nil) // want trace-in-commit
+	obs.SetTracer(nil) // only flagged when reached with a guard held
 }
 
 // deferredUnlock holds the guard until the function returns, so the

@@ -182,18 +182,30 @@ func hasTxParam(info *types.Info, ft *ast.FuncType, recv *ast.FieldList) bool {
 // transactional context in effect at that node. Goroutine bodies reset
 // the context (they run concurrently with, not inside, the
 // transaction); handler bodies run after the transaction's fate is
-// decided and so clear inTx.
+// decided and so clear inTx. Classification comes from the call graph,
+// which spans the whole module: a named function registered as a
+// handler or passed as a transaction body in *any* package carries
+// that context into its declaration here.
 func (p *Pass) walkCtx(f *ast.File, visit func(n ast.Node, ctx funcCtx)) {
 	info := p.Pkg.Info
-	kinds := classifyFuncLits(info, f)
+	g := p.Graph
 
 	var walk func(n ast.Node, ctx funcCtx)
 	walk = func(n ast.Node, ctx funcCtx) {
 		switch n := n.(type) {
 		case *ast.FuncDecl:
 			ctx = funcCtx{txInScope: hasTxParam(info, n.Type, n.Recv)}
+			if fn := declFunc(info, n); fn != nil {
+				switch {
+				case g.handlerFuncs[fn]:
+					ctx.inHandler = true
+				case g.txBodyFuncs[fn]:
+					ctx.inTx = true
+					ctx.txInScope = true
+				}
+			}
 		case *ast.FuncLit:
-			switch kinds[n] {
+			switch g.litKinds[n] {
 			case bodyTx:
 				ctx = funcCtx{inTx: true, txInScope: true}
 			case bodyHandler:

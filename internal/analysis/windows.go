@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// This file locates the code regions that execute with a commit guard
+// held — the roots the interprocedural rules (trace-in-commit,
+// commit-window-blocking, guard-order) analyze from. Two kinds exist:
+//
+//   - Guard-hold windows: within one block, the statements between a
+//     window-opening statement (Guard.Lock, acquireGuards, lockGuards)
+//     and the closing one (Guard.Unlock, releaseGuards, unlockGuards).
+//     The opener itself is excluded — acquisition is not yet "inside" —
+//     and the closer is included (it still runs with the guard held).
+//     A window never closed in its block extends to the block's end,
+//     which is also how a deferred Unlock behaves: the guard is held
+//     until the function returns.
+//
+//   - Handler bodies: function literals registered as commit/abort
+//     handlers, and named functions the module registers anywhere (per
+//     the call graph). The STM runs them with their guard held, so they
+//     are windows whose opener lives in the commit protocol.
+type guardWindow struct {
+	// block is the enclosing block, for context-sensitive exemptions
+	// (guard-order's ascending-ID idiom).
+	block *ast.BlockStmt
+	// open is the statement that opened the window.
+	open ast.Stmt
+	// body is the statements that run with the guard held, closer
+	// included.
+	body []ast.Stmt
+}
+
+// forEachGuardWindow scans every block in f for guard-hold windows.
+// Windows in nested blocks are reported for their own block; a window
+// spanning an if/for statement contains that whole statement in its
+// body, so effects inside nested blocks of a wider window are still
+// attributed to it.
+func (p *Pass) forEachGuardWindow(f *ast.File, visit func(w guardWindow)) {
+	info := p.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		open := -1
+		for i, stmt := range block.List {
+			if open < 0 {
+				if stmtOpensGuardWindow(info, stmt) {
+					open = i
+				}
+				continue
+			}
+			if stmtClosesGuardWindow(info, stmt) {
+				visit(guardWindow{block: block, open: block.List[open], body: block.List[open+1 : i+1]})
+				open = -1
+			}
+		}
+		if open >= 0 {
+			visit(guardWindow{block: block, open: block.List[open], body: block.List[open+1:]})
+		}
+		return true
+	})
+}
+
+// forEachHandlerBody visits the body of every handler in f: literals
+// classified bodyHandler, and declared functions some package of the
+// module registers as handlers.
+func (p *Pass) forEachHandlerBody(f *ast.File, visit func(body *ast.BlockStmt)) {
+	info := p.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if p.Graph.litKinds[n] == bodyHandler {
+				visit(n.Body)
+			}
+		case *ast.FuncDecl:
+			if n.Body != nil && p.Graph.handlerFuncs[declFunc(info, n)] {
+				visit(n.Body)
+			}
+		}
+		return true
+	})
+}
+
+// stmtOpensGuardWindow reports whether stmt directly opens a
+// commit-guard hold window: it calls stm.Guard.Lock (the collections'
+// fused critical sections), a function named acquireGuards (the commit
+// protocol's blocking footprint acquisition — matched by name so the
+// rule works both on the stm package's unexported helper and on
+// fixtures that model it), or a function or method named lockGuards (a
+// striped collection's all-stripes acquisition helper: a loop locking
+// every stripe guard in ascending id order, e.g. for an iterator
+// snapshot — everything after it runs with the whole instance's guards
+// held). Deferred calls and function literals do not count: a defer
+// runs at function return, and a closure body runs whenever it is
+// invoked — neither changes whether a guard is held at the statements
+// that follow.
+func stmtOpensGuardWindow(info *types.Info, stmt ast.Stmt) bool {
+	return stmtGuardOp(info, stmt, "Lock", "acquireGuards", "lockGuards")
+}
+
+// stmtClosesGuardWindow reports whether stmt directly closes the
+// window: Guard.Unlock, or a call to a function named releaseGuards or
+// a function or method named unlockGuards.
+func stmtClosesGuardWindow(info *types.Info, stmt ast.Stmt) bool {
+	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards", "unlockGuards")
+}
+
+// stmtGuardOp matches three shapes of guard transition under stmt: the
+// Guard method itself (type-checked against the stm package), a free
+// function named freeName (acquireGuards/releaseGuards take the guard
+// slice as an argument, so a method of that name would be something
+// else), and a helper named helperName with or without a receiver —
+// striped collections hang lockGuards/unlockGuards off the instance
+// whose stripes they sweep.
+func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isSTMMethod(info, n, "Guard", method) {
+				found = true
+			} else if fn := calleeFunc(info, n); fn != nil {
+				if fn.Name() == freeName && recvNamed(fn) == nil {
+					found = true
+				} else if fn.Name() == helperName {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardMachineryNames are the protocol's own acquisition/release
+// helpers. The blocking rule trusts them (acquiring the footprint is
+// the one sanctioned blocking operation — it is ordered, and it IS the
+// window), and window scanning treats calls to them as the window
+// boundary rather than as content.
+var guardMachineryNames = map[string]bool{
+	"acquireGuards": true,
+	"releaseGuards": true,
+	"lockGuards":    true,
+	"unlockGuards":  true,
+}
+
+// isGuardMethod reports whether fn is a method of stm.Guard.
+func isGuardMethod(fn *types.Func) bool {
+	named := recvNamed(fn)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Guard" && obj.Pkg() != nil && isSTMPath(obj.Pkg().Path())
+}
+
+// reportReach runs the searcher from every call on the synchronous
+// path under stmts and reports the first reachable effect per call
+// site, positioned at the call (so suppression stays local to the
+// window) with the chain in the message. seen deduplicates across
+// overlapping windows; format receives the chain head's display name
+// and the rendered chain.
+func (p *Pass) reportReach(stmts []ast.Stmt, s *reachSearcher, seen map[string]bool, format func(head, chain string) string) {
+	info := p.Pkg.Info
+	for _, stmt := range stmts {
+		p.Graph.inspectSyncPath(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A call already flagged as a lexical effect (reportLexical
+			// runs first and records its positions) is one finding, not
+			// two: don't chase what it reaches.
+			if seen[posKey(call.Pos())] {
+				return true
+			}
+			chain, eff, found := s.fromCall(info, call)
+			if !found {
+				return true
+			}
+			msg := format(funcDisplayName(chain[0]), s.describeChain(chain, eff))
+			key := dedupKey(call.Pos(), msg)
+			if !seen[key] {
+				seen[key] = true
+				p.Reportf(call.Pos(), "%s", msg)
+			}
+			return true
+		})
+	}
+}
+
+// reportLexical reports every effect the detector finds lexically under
+// stmts, at the effect's own position, deduplicated across overlapping
+// windows.
+func (p *Pass) reportLexical(stmts []ast.Stmt, detect func(root ast.Node) []effect, seen map[string]bool, format func(desc string) string) {
+	for _, stmt := range stmts {
+		for _, e := range detect(stmt) {
+			seen[posKey(e.pos)] = true
+			msg := format(e.desc)
+			key := dedupKey(e.pos, msg)
+			if !seen[key] {
+				seen[key] = true
+				p.Reportf(e.pos, "%s", msg)
+			}
+		}
+	}
+}
+
+// posKey marks a position as lexically reported, letting reportReach
+// skip calls that are themselves the finding.
+func posKey(pos token.Pos) string {
+	return "pos:" + strconv.Itoa(int(pos))
+}
+
+// dedupKey identifies a diagnostic for cross-window deduplication (a
+// statement can sit in two overlapping windows when an inner block
+// opens its own window inside a wider one).
+func dedupKey(pos token.Pos, msg string) string {
+	return strconv.Itoa(int(pos)) + "|" + msg
+}

@@ -23,8 +23,20 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== stmlint ./..."
-go run ./cmd/stmlint ./...
+echo "== stmlint -json -timing ./... (empty-baseline gate)"
+# Per-rule timing goes to stderr (visible above); the JSON report is
+# captured and must contain zero diagnostics — the baseline is empty,
+# so any finding (even one the exit code somehow missed) fails the gate.
+if ! lint_json=$(go run ./cmd/stmlint -json -timing ./...); then
+  echo "stmlint: diagnostics found (baseline is empty):" >&2
+  printf '%s\n' "$lint_json" >&2
+  exit 1
+fi
+if printf '%s' "$lint_json" | grep -q '"rule"'; then
+  echo "stmlint: non-empty report with zero exit status:" >&2
+  printf '%s\n' "$lint_json" >&2
+  exit 1
+fi
 
 echo "== disjoint-commit smoke (sharded guard footprints overlap)"
 go test -run 'TestDisjointHandlerWindowsOverlap|TestGuardFreeRollbackTakesNoGuard' \
