@@ -96,6 +96,19 @@ func BenchmarkFigureStriped(b *testing.B) {
 	reportFigure(b, fig, []string{"single", "striped"})
 }
 
+// BenchmarkFigureReadRatio sweeps the 99%-read snapshot pairing
+// (tccbench figure 7): each structure's lookups run once on the retry
+// path and once as MVCC-lite snapshot transactions.
+func BenchmarkFigureReadRatio(b *testing.B) {
+	p := harness.ReadRatioParams(99)
+	p.TotalOps = 2048
+	var fig harness.Figure
+	for i := 0; i < b.N; i++ {
+		fig = harness.RunFigure("TestMapRead99", harness.ReadRatioConfigs(p), benchCPUs, p.TotalOps, 7)
+	}
+	reportFigure(b, fig, []string{"atomosRetry", "atomosSnap", "tccRetry", "tccSnap"})
+}
+
 // hotMapDisjointKeys is the wall-clock demonstration for
 // intra-collection striping, the map-level sequel to
 // stm.BenchmarkSTMDisjointHandlerWindow: 8 workers hammer ONE shared
@@ -408,6 +421,17 @@ func BenchmarkRealSTM(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_ = th.Atomic(func(tx *stm.Tx) error {
+				v.Get(tx)
+				return nil
+			})
+		}
+	})
+	b.Run("SnapshotReadOnlyTx", func(b *testing.B) {
+		v := stm.NewVar(1)
+		th := stm.NewThread(&stm.RealClock{}, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = th.AtomicRead(func(tx *stm.Tx) error {
 				v.Get(tx)
 				return nil
 			})

@@ -7,6 +7,9 @@
 //	Figure 4 — SPECjbb2000    (single-warehouse, four configurations)
 //	Figure 5 — TestStripedMap (disjoint-key workers on one shared map,
 //	                           single-guard vs striped)
+//	Figure 6 — TestMapRead90  (90%-read mix, retry-path vs MVCC-lite
+//	                           snapshot reads)
+//	Figure 7 — TestMapRead99  (99%-read mix, same pairing)
 //
 // Each figure prints one row per CPU count and one column per
 // configuration; values are speedups normalized to the 1-CPU Java run,
@@ -14,7 +17,7 @@
 //
 // Usage:
 //
-//	tccbench                  # all five figures
+//	tccbench                  # all seven figures
 //	tccbench -fig 3           # one figure
 //	tccbench -ops 8192        # more work per run
 //	tccbench -cpus 1,2,4,8    # custom sweep
@@ -43,7 +46,7 @@ import (
 
 func main() {
 	var (
-		figFlag     = flag.Int("fig", 0, "figure to run (1-5); 0 runs all")
+		figFlag     = flag.Int("fig", 0, "figure to run (1-7); 0 runs all")
 		opsFlag     = flag.Int("ops", 4096, "total operations per run (divided among CPUs)")
 		cpusFlag    = flag.String("cpus", "1,2,4,8,16,32", "comma-separated CPU counts")
 		seedFlag    = flag.Int64("seed", 7, "deterministic schedule seed")
@@ -85,13 +88,13 @@ func main() {
 		fmt.Println()
 	}
 	if *figFlag != 0 {
-		if *figFlag < 1 || *figFlag > 5 {
-			fmt.Fprintln(os.Stderr, "tccbench: -fig must be 1..5")
+		if *figFlag < 1 || *figFlag > 7 {
+			fmt.Fprintln(os.Stderr, "tccbench: -fig must be 1..7")
 			os.Exit(2)
 		}
 		run(*figFlag)
 	} else {
-		for n := 1; n <= 5; n++ {
+		for n := 1; n <= 7; n++ {
 			run(n)
 		}
 	}
@@ -151,6 +154,14 @@ func buildFigure(n int, cpus []int, ops int, seed int64, opts harness.FigureOpti
 		return harness.RunFigureOpts("TestCompound (Figure 3)", harness.TestCompoundConfigs(p), cpus, ops, seed, opts)
 	case 4:
 		return jbb.RunFigure4Opts(cpus, ops, jbb.DefaultParams(), seed, opts)
+	case 6:
+		p6 := harness.ReadRatioParams(90)
+		p6.TotalOps = ops
+		return harness.RunFigureOpts("TestMapRead90 (Figure 6)", harness.ReadRatioConfigs(p6), cpus, ops, seed, opts)
+	case 7:
+		p7 := harness.ReadRatioParams(99)
+		p7.TotalOps = ops
+		return harness.RunFigureOpts("TestMapRead99 (Figure 7)", harness.ReadRatioConfigs(p7), cpus, ops, seed, opts)
 	default:
 		return harness.RunFigureOpts("TestStripedMap (Figure 5)", harness.StripedMapConfigs(p), cpus, ops, seed, opts)
 	}

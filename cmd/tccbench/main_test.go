@@ -24,7 +24,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // rather than only in a full benchmark run.
 func TestBuildFigureSmoke(t *testing.T) {
 	cpus := []int{1, 2}
-	for n := 1; n <= 4; n++ {
+	for _, n := range []int{1, 2, 3, 4, 6, 7} {
 		fig := buildFigure(n, cpus, 64, 7, harness.FigureOptions{})
 		out := fig.String()
 		if out == "" {
@@ -37,6 +37,27 @@ func TestBuildFigureSmoke(t *testing.T) {
 		}
 		if stats := fig.StatsString(); stats == "" {
 			t.Errorf("figure %d produced no stats output", n)
+		}
+	}
+}
+
+// TestReadRatioFigureSnapshotStats: the figure 7 snapshot
+// configurations actually ride the MVCC-lite path — their runs record
+// snapshot commits with zero read-side lost work, and the retry
+// configurations record none.
+func TestReadRatioFigureSnapshotStats(t *testing.T) {
+	fig := buildFigure(7, []int{2}, 128, 7, harness.FigureOptions{})
+	for _, s := range fig.Series {
+		st := s.Stats[2]
+		snap := strings.Contains(s.Name, "snapshot")
+		if snap && st.SnapshotCommits == 0 {
+			t.Errorf("series %q recorded no snapshot commits", s.Name)
+		}
+		if !snap && st.SnapshotCommits != 0 {
+			t.Errorf("series %q recorded %d snapshot commits on the retry path", s.Name, st.SnapshotCommits)
+		}
+		if stats := fig.StatsString(); snap && !strings.Contains(stats, "snapshot=") {
+			t.Errorf("stats rendering missing snapshot counts:\n%s", stats)
 		}
 	}
 }

@@ -57,6 +57,7 @@ func Rules() []*Rule {
 		ruleTraceInCommit,
 		ruleGuardOrder,
 		ruleCommitBlocking,
+		ruleWriteInReadonly,
 	}
 }
 

@@ -126,6 +126,7 @@ func TestGuardOrderFixture(t *testing.T)    { runFixture(t, "guardorder") }
 func TestCommitBlockingFixture(t *testing.T) {
 	runFixture(t, "commitblocking")
 }
+func TestWriteInReadonlyFixture(t *testing.T) { runFixture(t, "writeinreadonly") }
 
 // TestSuppress proves //stmlint:ignore silences exactly the named
 // rule: three suppressed violations yield nothing, and a directive for
@@ -136,7 +137,7 @@ func TestSuppress(t *testing.T) { runFixture(t, "suppress") }
 // each registered rule must fire somewhere in testdata.
 func TestEveryRuleHasFixture(t *testing.T) {
 	fired := make(map[string]bool)
-	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit", "guardorder", "commitblocking"} {
+	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit", "guardorder", "commitblocking", "writeinreadonly"} {
 		l, pkg := loadFixture(t, name)
 		for _, d := range analysis.Check(l.Fset, pkg) {
 			fired[d.Rule] = true

@@ -67,6 +67,11 @@ type CallGraph struct {
 	handlerFuncs map[*types.Func]bool
 	txBodyFuncs  map[*types.Func]bool
 
+	// readonlyBodyFuncs is the subset of txBodyFuncs passed to
+	// Thread.AtomicRead somewhere: transaction bodies that declared
+	// themselves read-only and must not reach a write.
+	readonlyBodyFuncs map[*types.Func]bool
+
 	// concretes indexes every named type declared in the module by its
 	// explicit method-name set, in deterministic order, for CHA
 	// resolution of interface calls.
@@ -142,13 +147,14 @@ func BuildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
 
 	g := &CallGraph{
-		fset:         fset,
-		pkgs:         sorted,
-		nodes:        make(map[*types.Func]*callNode),
-		litKinds:     make(map[*ast.FuncLit]bodyKind),
-		handlerFuncs: make(map[*types.Func]bool),
-		txBodyFuncs:  make(map[*types.Func]bool),
-		chaCache:     make(map[*types.Func][]*types.Func),
+		fset:              fset,
+		pkgs:              sorted,
+		nodes:             make(map[*types.Func]*callNode),
+		litKinds:          make(map[*ast.FuncLit]bodyKind),
+		handlerFuncs:      make(map[*types.Func]bool),
+		txBodyFuncs:       make(map[*types.Func]bool),
+		readonlyBodyFuncs: make(map[*types.Func]bool),
+		chaCache:          make(map[*types.Func][]*types.Func),
 	}
 
 	// Pass 1: nodes, literal kinds, named handler/body registration,
@@ -237,6 +243,14 @@ func (g *CallGraph) classifyNamedArgs(info *types.Info, f *ast.File) {
 			isSTMMethod(info, call, "Tx", "Nested"):
 			if fn := fnAt(0); fn != nil {
 				g.txBodyFuncs[fn] = true
+			}
+		case isSTMMethod(info, call, "Thread", "AtomicRead"):
+			// A read-only body is still a transaction body (it runs with
+			// a live *stm.Tx, so the tx-context rules apply) and is
+			// additionally rooted by the write-in-readonly rule.
+			if fn := fnAt(0); fn != nil {
+				g.txBodyFuncs[fn] = true
+				g.readonlyBodyFuncs[fn] = true
 			}
 		case isSTMMethod(info, call, "Tx", "OnCommit"),
 			isSTMMethod(info, call, "Tx", "OnAbort"),

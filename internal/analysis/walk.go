@@ -95,10 +95,11 @@ func stmNamedPtr(t types.Type, name string) bool {
 type bodyKind int
 
 const (
-	bodyPlain   bodyKind = iota
-	bodyTx               // argument to Thread.Atomic, Tx.Open or Tx.Nested
-	bodyHandler          // argument to OnCommit/OnAbort/OnTopCommit/OnTopAbort or a Guarded variant
-	bodyGo               // launched by a go statement
+	bodyPlain      bodyKind = iota
+	bodyTx                  // argument to Thread.Atomic, Tx.Open or Tx.Nested
+	bodyReadOnlyTx          // argument to Thread.AtomicRead (a transaction body that must not write)
+	bodyHandler             // argument to OnCommit/OnAbort/OnTopCommit/OnTopAbort or a Guarded variant
+	bodyGo                  // launched by a go statement
 )
 
 // funcCtx is the transactional context in effect at a node.
@@ -137,6 +138,10 @@ func classifyFuncLits(info *types.Info, f *ast.File) map[*ast.FuncLit]bodyKind {
 				isSTMMethod(info, n, "Tx", "Nested"):
 				if lit := litAt(0); lit != nil {
 					kinds[lit] = bodyTx
+				}
+			case isSTMMethod(info, n, "Thread", "AtomicRead"):
+				if lit := litAt(0); lit != nil {
+					kinds[lit] = bodyReadOnlyTx
 				}
 			case isSTMMethod(info, n, "Tx", "OnCommit"),
 				isSTMMethod(info, n, "Tx", "OnAbort"),
@@ -206,7 +211,7 @@ func (p *Pass) walkCtx(f *ast.File, visit func(n ast.Node, ctx funcCtx)) {
 			}
 		case *ast.FuncLit:
 			switch g.litKinds[n] {
-			case bodyTx:
+			case bodyTx, bodyReadOnlyTx:
 				ctx = funcCtx{inTx: true, txInScope: true}
 			case bodyHandler:
 				ctx = funcCtx{inHandler: true}

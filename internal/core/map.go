@@ -469,6 +469,9 @@ func (tm *TransactionalMap[K, V]) lockKeyLocked(l *mapLocal[K, V], h semlock.Own
 // key lock inside an open-nested region (Table 2: get takes a "key lock
 // on argument").
 func (tm *TransactionalMap[K, V]) Get(tx *stm.Tx, k K) (V, bool) {
+	if tx.IsSnapshot() {
+		return tm.snapshotGet(tx, k)
+	}
 	l := tm.local(tx)
 	if w, ok := l.storeBuffer[k]; ok {
 		if w.removed {
@@ -653,6 +656,9 @@ func (tm *TransactionalMap[K, V]) deltaLocked(l *mapLocal[K, V]) int {
 // cannot commit (the same opacity-by-violation argument as the paper's
 // open-nested reads).
 func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
+	if tx.IsSnapshot() {
+		return tm.snapshotSize(tx)
+	}
 	l := tm.local(tx)
 	tm.touchAll(tx, l)
 	n := 0
@@ -684,7 +690,7 @@ func (tm *TransactionalMap[K, V]) Size(tx *stm.Tx) int {
 // non-empty) but never missing a global transition, since a global flip
 // requires some stripe to flip.
 func (tm *TransactionalMap[K, V]) IsEmpty(tx *stm.Tx) bool {
-	if tm.isEmptyViaSize {
+	if tm.isEmptyViaSize || tx.IsSnapshot() {
 		return tm.Size(tx) == 0
 	}
 	l := tm.local(tx)

@@ -32,6 +32,11 @@ type MapIterator[K comparable, V any] struct {
 	// pending is the prefetched next entry (HasNext peeks by advancing).
 	pending *mapEntry[K, V]
 	done    bool
+	// frozen marks a snapshot-mode iterator: entries holds the whole
+	// committed view captured at creation (snapshotIterator), tm/tx/l
+	// are nil, and enumeration takes no locks at all.
+	frozen  bool
+	entries []mapEntry[K, V]
 }
 
 // mapEntry is one key/value pair returned by an iterator.
@@ -49,6 +54,9 @@ type mapEntry[K comparable, V any] struct {
 // on an earlier one — with no violation to save it, since enumeration
 // takes no lock that such a commit sweeps until the keys are visited.
 func (tm *TransactionalMap[K, V]) Iterator(tx *stm.Tx) *MapIterator[K, V] {
+	if tx.IsSnapshot() {
+		return tm.snapshotIterator(tx)
+	}
 	l := tm.local(tx)
 	tm.touchAll(tx, l)
 	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 2) and documented not to outlive tx
@@ -131,6 +139,9 @@ func (it *MapIterator[K, V]) advance() (K, V, bool) {
 // HasNext reports whether another entry exists; a false answer reveals
 // the map's size, so it takes the size lock.
 func (it *MapIterator[K, V]) HasNext() bool {
+	if it.frozen {
+		return it.i < len(it.entries)
+	}
 	if it.done {
 		return false
 	}
@@ -162,6 +173,11 @@ func (it *MapIterator[K, V]) HasNext() bool {
 func (it *MapIterator[K, V]) Next() (k K, v V, ok bool) {
 	if !it.HasNext() {
 		return k, v, false
+	}
+	if it.frozen {
+		e := it.entries[it.i]
+		it.i++
+		return e.Key, e.Val, true
 	}
 	e := it.pending
 	it.pending = nil

@@ -124,8 +124,12 @@ func (f Figure) StatsString() string {
 		fmt.Fprintf(&b, "  %s:\n", s.Name)
 		for _, n := range f.CPUs {
 			st := s.Stats[n]
-			fmt.Fprintf(&b, "    %2d CPUs: commits=%d aborts=%d violations=%d open=%d handlers=%d\n",
+			fmt.Fprintf(&b, "    %2d CPUs: commits=%d aborts=%d violations=%d open=%d handlers=%d",
 				n, st.Commits, st.Aborts, st.Violations, st.OpenCommits, st.HandlerRuns)
+			if st.SnapshotCommits > 0 || st.SnapshotFallbacks > 0 {
+				fmt.Fprintf(&b, " snapshot=%d fallbacks=%d", st.SnapshotCommits, st.SnapshotFallbacks)
+			}
+			b.WriteByte('\n')
 			if breakdown := FormatViolationProfile(st, 3); breakdown != "" {
 				fmt.Fprintf(&b, "             lost work: %s\n", breakdown)
 			}

@@ -87,6 +87,110 @@ func MustAtomic(th *stm.Thread, fn func(tx *stm.Tx) error) {
 	}
 }
 
+// MustAtomicRead runs fn as a read-only snapshot transaction (MVCC-lite
+// path) and panics on error, mirroring MustAtomic for the read side of
+// read-mostly workloads.
+func MustAtomicRead(th *stm.Thread, fn func(tx *stm.Tx) error) {
+	if err := th.AtomicRead(fn); err != nil {
+		panic(err)
+	}
+}
+
+// ReadRatioParams returns the figure parameters with the lookup share
+// raised to readPct (puts and removes split the remainder evenly) —
+// the read-mostly regimes of figures 6 and 7.
+func ReadRatioParams(readPct int) MapBenchParams {
+	p := DefaultMapParams()
+	p.ReadPct = readPct
+	p.PutPct = (100 - readPct + 1) / 2
+	return p
+}
+
+// ReadRatioConfigs builds the snapshot-read sweep (figures 6 and 7):
+// the Figure 1 workload at a read-heavy mix, with each structure run
+// twice — lookups as ordinary retry-path transactions versus lookups as
+// MVCC-lite snapshot transactions (Thread.AtomicRead). Writes always
+// use the retry path. The gap between the paired lines is what the
+// snapshot path buys: read transactions that never CAS a lockword,
+// never take a semantic lock, and never abort, so at 90–99% reads the
+// writers' commits are the only contention left.
+func ReadRatioConfigs(p MapBenchParams) []Config {
+	atomosSetup := func(snapshot bool) func(pl Platform) func(w *Worker) {
+		return func(pl Platform) func(w *Worker) {
+			m := stmcol.NewHashMap[int, int]()
+			th := setupThread()
+			MustAtomic(th, func(tx *stm.Tx) error {
+				for i := 0; i < p.Prepopulate; i++ {
+					m.Put(tx, i, i)
+				}
+				return nil
+			})
+			return func(w *Worker) {
+				op, k := p.drawOp(w)
+				body := func(tx *stm.Tx) error {
+					w.Compute(p.Compute / 2)
+					switch op {
+					case opRead:
+						m.Get(tx, k)
+					case opPut:
+						m.Put(tx, k, k)
+					default:
+						m.Remove(tx, k)
+					}
+					w.Compute(p.Compute / 2)
+					return nil
+				}
+				if snapshot && op == opRead {
+					MustAtomicRead(w.Thread, body)
+				} else {
+					MustAtomic(w.Thread, body)
+				}
+			}
+		}
+	}
+	tccSetup := func(snapshot bool) func(pl Platform) func(w *Worker) {
+		return func(pl Platform) func(w *Worker) {
+			tm := core.NewStripedTransactionalMap[int, int](func() collections.Map[int, int] {
+				return collections.NewHashMap[int, int]()
+			}, core.DefaultStripes)
+			th := setupThread()
+			MustAtomic(th, func(tx *stm.Tx) error {
+				for i := 0; i < p.Prepopulate; i++ {
+					tm.Put(tx, i, i)
+				}
+				return nil
+			})
+			return func(w *Worker) {
+				op, k := p.drawOp(w)
+				body := func(tx *stm.Tx) error {
+					w.Compute(p.Compute / 2)
+					switch op {
+					case opRead:
+						tm.Get(tx, k)
+					case opPut:
+						tm.Put(tx, k, k)
+					default:
+						tm.Remove(tx, k)
+					}
+					w.Compute(p.Compute / 2)
+					return nil
+				}
+				if snapshot && op == opRead {
+					MustAtomicRead(w.Thread, body)
+				} else {
+					MustAtomic(w.Thread, body)
+				}
+			}
+		}
+	}
+	return []Config{
+		{Name: "Atomos HashMap (retry reads)", Setup: atomosSetup(false)},
+		{Name: "Atomos HashMap (snapshot reads)", Setup: atomosSetup(true)},
+		{Name: "TransactionalMap (retry reads)", Setup: tccSetup(false)},
+		{Name: "TransactionalMap (snapshot reads)", Setup: tccSetup(true)},
+	}
+}
+
 // TestMapConfigs builds the three Figure 1 configurations: Java HashMap
 // (coarse lock per operation), Atomos HashMap (STM-instrumented map
 // accessed directly inside the long transaction), and Atomos

@@ -89,6 +89,7 @@ type traceArgs struct {
 	Reads    int    `json:"reads,omitempty"`
 	Writes   int    `json:"writes,omitempty"`
 	Handlers int    `json:"handlers,omitempty"`
+	Snapshot bool   `json:"snapshot,omitempty"`
 	Where    string `json:"where,omitempty"`
 	Reason   string `json:"reason,omitempty"`
 	Name     string `json:"name,omitempty"` // metadata payload
@@ -161,6 +162,7 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			te.Cat = "tx"
 			span(e.Dur)
 			te.Args.Reads, te.Args.Writes, te.Args.Handlers = e.Reads, e.Writes, e.Handlers
+			te.Args.Snapshot = e.Snapshot
 		case KindTxAbort, KindTxViolated, KindTxUserAbort:
 			te.Cat = "conflict"
 			span(e.Dur)

@@ -92,6 +92,7 @@ type Event struct {
 	Writes   int    // write-set size (commit events)
 	Handlers int    // commit/abort handlers attached (commit events)
 	Waits    int    // contended guards in the footprint (guard-wait events)
+	Snapshot bool   // transaction ran on the MVCC-lite snapshot path (begin/commit events)
 	Where    string // conflicting Var or guard label ("HashMap.size", ...)
 	Reason   string // mechanical cause or violation reason
 }

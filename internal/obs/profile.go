@@ -22,7 +22,7 @@ type Profile struct {
 	begins, commits, aborts, violations, userAborts atomic.Uint64
 	nestedRetries, openCommits, openRetries         atomic.Uint64
 	backoffs, backoffCycles, lostCycles             atomic.Uint64
-	guardWaits                                      atomic.Uint64
+	guardWaits, snapshotCommits                     atomic.Uint64
 
 	latency Hist // committed-tx latency in cycles (incl. retries+backoff)
 	retries Hist // retries per committed tx
@@ -58,6 +58,9 @@ func (p *Profile) Trace(e Event) {
 		p.begins.Add(1)
 	case KindTxCommit:
 		p.commits.Add(1)
+		if e.Snapshot {
+			p.snapshotCommits.Add(1)
+		}
 		p.latency.Observe(e.CPU, e.Dur)
 		p.retries.Observe(e.CPU, uint64(e.Attempt))
 	case KindTxAbort:
@@ -153,41 +156,43 @@ type Hotspot struct {
 
 // ProfileReport is the exportable (JSON-able) snapshot of a Profile.
 type ProfileReport struct {
-	Begins        uint64       `json:"begins"`
-	Commits       uint64       `json:"commits"`
-	Aborts        uint64       `json:"aborts"`
-	Violations    uint64       `json:"violations"`
-	UserAborts    uint64       `json:"user_aborts,omitempty"`
-	NestedRetries uint64       `json:"nested_retries,omitempty"`
-	OpenCommits   uint64       `json:"open_commits,omitempty"`
-	OpenRetries   uint64       `json:"open_retries,omitempty"`
-	Backoffs      uint64       `json:"backoffs,omitempty"`
-	BackoffCycles uint64       `json:"backoff_cycles,omitempty"`
-	GuardWaits    uint64       `json:"guard_waits,omitempty"`
-	LostCycles    uint64       `json:"lost_cycles"`
-	Hotspots      []Hotspot    `json:"hotspots,omitempty"`
-	Latency       HistSnapshot `json:"latency"`
-	Retries       HistSnapshot `json:"retries"`
+	Begins          uint64       `json:"begins"`
+	Commits         uint64       `json:"commits"`
+	SnapshotCommits uint64       `json:"snapshot_commits,omitempty"`
+	Aborts          uint64       `json:"aborts"`
+	Violations      uint64       `json:"violations"`
+	UserAborts      uint64       `json:"user_aborts,omitempty"`
+	NestedRetries   uint64       `json:"nested_retries,omitempty"`
+	OpenCommits     uint64       `json:"open_commits,omitempty"`
+	OpenRetries     uint64       `json:"open_retries,omitempty"`
+	Backoffs        uint64       `json:"backoffs,omitempty"`
+	BackoffCycles   uint64       `json:"backoff_cycles,omitempty"`
+	GuardWaits      uint64       `json:"guard_waits,omitempty"`
+	LostCycles      uint64       `json:"lost_cycles"`
+	Hotspots        []Hotspot    `json:"hotspots,omitempty"`
+	Latency         HistSnapshot `json:"latency"`
+	Retries         HistSnapshot `json:"retries"`
 }
 
 // Report snapshots the profile. Hotspots are sorted hottest-first
 // (rollbacks, then lost cycles, then label — deterministic for tests).
 func (p *Profile) Report() *ProfileReport {
 	r := &ProfileReport{
-		Begins:        p.begins.Load(),
-		Commits:       p.commits.Load(),
-		Aborts:        p.aborts.Load(),
-		Violations:    p.violations.Load(),
-		UserAborts:    p.userAborts.Load(),
-		NestedRetries: p.nestedRetries.Load(),
-		OpenCommits:   p.openCommits.Load(),
-		OpenRetries:   p.openRetries.Load(),
-		Backoffs:      p.backoffs.Load(),
-		BackoffCycles: p.backoffCycles.Load(),
-		GuardWaits:    p.guardWaits.Load(),
-		LostCycles:    p.lostCycles.Load(),
-		Latency:       p.latency.Snapshot(),
-		Retries:       p.retries.Snapshot(),
+		Begins:          p.begins.Load(),
+		Commits:         p.commits.Load(),
+		SnapshotCommits: p.snapshotCommits.Load(),
+		Aborts:          p.aborts.Load(),
+		Violations:      p.violations.Load(),
+		UserAborts:      p.userAborts.Load(),
+		NestedRetries:   p.nestedRetries.Load(),
+		OpenCommits:     p.openCommits.Load(),
+		OpenRetries:     p.openRetries.Load(),
+		Backoffs:        p.backoffs.Load(),
+		BackoffCycles:   p.backoffCycles.Load(),
+		GuardWaits:      p.guardWaits.Load(),
+		LostCycles:      p.lostCycles.Load(),
+		Latency:         p.latency.Snapshot(),
+		Retries:         p.retries.Snapshot(),
 	}
 	p.mu.Lock()
 	var total uint64
@@ -247,6 +252,9 @@ func (r *ProfileReport) Format(top int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "commits=%d aborts=%d violations=%d lost-work=%d cycles",
 		r.Commits, r.Aborts, r.Violations, r.LostCycles)
+	if r.SnapshotCommits > 0 {
+		fmt.Fprintf(&b, " snapshot-commits=%d", r.SnapshotCommits)
+	}
 	if r.Backoffs > 0 {
 		fmt.Fprintf(&b, " backoff=%d cycles/%d waits", r.BackoffCycles, r.Backoffs)
 	}

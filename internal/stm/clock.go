@@ -87,6 +87,10 @@ const (
 	// CostCommitBase plus CostCommitPerWrite are charged at commit.
 	CostCommitBase     = 12
 	CostCommitPerWrite = 3
+	// CostSnapshotCommit is charged when a snapshot (read-only)
+	// transaction completes: cheaper than CostCommitBase because the
+	// snapshot path locks, validates, and publishes nothing.
+	CostSnapshotCommit = 4
 	// CostAbort is the fixed rollback cost; the real price of an abort
 	// is re-executing the body, which re-charges naturally.
 	CostAbort = 16

@@ -62,7 +62,7 @@ func TestLockwordAcquireRelease(t *testing.T) {
 	if ver, lockedByOther := c.peek(h1); ver != 42 || lockedByOther {
 		t.Fatalf("post-install peek = (%d, %v), want (42, false)", ver, lockedByOther)
 	}
-	if got := *c.val.Load(); got.(int) != 9 {
+	if got := c.val.Load().val; got.(int) != 9 {
 		t.Fatalf("post-install value = %v, want 9", got)
 	}
 }

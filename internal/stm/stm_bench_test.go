@@ -319,6 +319,64 @@ func BenchmarkSTMReadOnly4VarProfiled(b *testing.B) {
 	}
 }
 
+// BenchmarkSTMSnapshotReadOnly4Var is the MVCC-lite counterpart of
+// BenchmarkSTMReadOnly4Var: the same four reads under AtomicRead ride
+// the snapshot path — no per-attempt Handle allocation, no read-set
+// bookkeeping, no validation, and a commit that publishes nothing. The
+// gap between the two benches is the per-transaction price of the
+// retry machinery on a read-only workload.
+func BenchmarkSTMSnapshotReadOnly4Var(b *testing.B) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.AtomicRead(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
+	}
+	b.StopTimer()
+	if th.Stats.SnapshotFallbacks != 0 {
+		b.Fatalf("snapshot bench fell back %d times", th.Stats.SnapshotFallbacks)
+	}
+}
+
+// TestSnapshotReadOnlyAllocationGuardrail pins the snapshot path's
+// allocation budget at zero: with the Tx, level, and snapshot Handle
+// all recycled through the Thread and no read set recorded, a warmed
+// 4-var AtomicRead must not touch the heap at all.
+func TestSnapshotReadOnlyAllocationGuardrail(t *testing.T) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	if obs.Active() != nil {
+		t.Fatal("guardrail requires tracing disabled")
+	}
+	run := func() {
+		_ = th.AtomicRead(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
+	}
+	run() // warm the Tx/level pools and the snapshot handle
+	if got := testing.AllocsPerRun(100, run); got > 0 {
+		t.Fatalf("snapshot read-only 4-var transaction allocates %.1f objects/run, budget is 0", got)
+	}
+	if th.Stats.SnapshotFallbacks != 0 {
+		t.Fatalf("guardrail runs fell back %d times", th.Stats.SnapshotFallbacks)
+	}
+}
+
 // TestSmallWriteAllocationGuardrail pins the write path: a 4-var
 // read-modify-write allocates the Handle, one immutable value box per
 // installed write (boxes cannot be recycled — concurrent readers may

@@ -27,6 +27,15 @@ type Stats struct {
 	OpenRetries uint64
 	// HandlerRuns counts executed commit handlers.
 	HandlerRuns uint64
+	// SnapshotCommits counts top-level transactions that completed on
+	// the MVCC-lite snapshot path (AtomicRead, or Atomic after
+	// SetReadOnly): no locks taken, no CAS issued, nothing published.
+	SnapshotCommits uint64
+	// SnapshotFallbacks counts read-only transactions that had to
+	// leave the snapshot path — the body wrote or registered a
+	// handler, or retained history stayed too shallow across the
+	// restart budget — and completed on the ordinary retry path.
+	SnapshotFallbacks uint64
 	// ViolationsByReason breaks Violations down by the reason string the
 	// violator supplied — the lost-work attribution the paper obtained
 	// with TAPE (§6.3: "we were able to identify several global counters
@@ -56,6 +65,8 @@ func (s *Stats) Add(other Stats) {
 	s.OpenCommits += other.OpenCommits
 	s.OpenRetries += other.OpenRetries
 	s.HandlerRuns += other.HandlerRuns
+	s.SnapshotCommits += other.SnapshotCommits
+	s.SnapshotFallbacks += other.SnapshotFallbacks
 	for reason, n := range other.ViolationsByReason {
 		if s.ViolationsByReason == nil {
 			s.ViolationsByReason = make(map[string]uint64)
@@ -100,6 +111,12 @@ type Thread struct {
 	levelPool []*level
 	commitBuf writeBuf
 	guardBuf  []*Guard
+	// snapHandle is the recycled handle for snapshot attempts. A
+	// snapshot transaction never enters a semantic lock table and
+	// never acquires a lockword, so no other transaction can hold (or
+	// violate) its handle across attempts — reusing one per thread is
+	// what makes the snapshot path allocation-free.
+	snapHandle *Handle
 }
 
 // sortedGuards gathers the union of the given guard lists into the
@@ -147,6 +164,8 @@ func (t *Thread) putTx(tx *Tx) {
 	tx.conflict = conflictRec{}
 	tx.gwaits = 0
 	tx.gwaitOn = nil
+	tx.snapshot = false
+	tx.fellBack = false
 	if tx.locals != nil {
 		clear(tx.locals)
 	}
@@ -224,7 +243,132 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 	}
 	t.inTx = true
 	defer func() { t.inTx = false }()
+	return t.retryLoop(fn)
+}
 
+// AtomicRead runs fn as a read-only transaction on the MVCC-lite
+// snapshot path: the global clock is sampled once at begin and every
+// Var.Get returns the newest committed box at or below that version —
+// no lockword CAS, no read-set bookkeeping, no validation, and no way
+// for a writer to abort it, even while writers commit continuously.
+//
+// If the snapshot cannot complete — fn writes, registers a handler,
+// opens an open-nested child, or a var's one-deep retained history was
+// truncated past the read version on every restart — the transaction
+// transparently re-runs on the ordinary retry path (counted in
+// Stats.SnapshotFallbacks), so fn must tolerate re-execution exactly
+// as an Atomic body must.
+func (t *Thread) AtomicRead(fn func(tx *Tx) error) error {
+	if t.inTx {
+		panic("stm: nested AtomicRead on one Thread; use tx.Nested")
+	}
+	t.inTx = true
+	defer func() { t.inTx = false }()
+	if err, done := t.snapshotRead(fn); done {
+		return err
+	}
+	t.Stats.SnapshotFallbacks++
+	return t.retryLoop(fn)
+}
+
+// maxSnapshotRestarts bounds how many times one snapshot transaction
+// restarts with a fresh read version (shallow history, or a committer
+// stalled on a lockword) before giving up on the snapshot path.
+const maxSnapshotRestarts = 8
+
+// snapshotRead attempts fn as a snapshot transaction. done=false means
+// the caller must re-run fn on the retry path. The handle is the
+// thread's recycled snapshot handle: a snapshot transaction never
+// enters a lock table, so nobody else can hold it between attempts,
+// and the path allocates nothing in steady state.
+func (t *Thread) snapshotRead(fn func(tx *Tx) error) (error, bool) {
+	tx := t.getTx()
+	h := t.snapHandle
+	if h == nil {
+		h = &Handle{}
+		t.snapHandle = h
+	}
+	for restart := 0; restart < maxSnapshotRestarts; restart++ {
+		t.Clock.Tick(CostTxBegin)
+		h.status.Store(int32(StatusActive))
+		h.birth = t.Clock.Now()
+		tx.thread = t
+		tx.handle = h
+		tx.outer = nil
+		tx.readVersion = globalClock.Load()
+		tx.cur = t.getLevel(nil)
+		tx.attempt = 0
+		tx.snapshot = true
+		if tx.locals != nil {
+			clear(tx.locals)
+		}
+		tx.tracer = obs.Active()
+		if tx.tracer != nil {
+			if tx.txid == 0 {
+				tx.txid = txIDs.Add(1)
+			}
+			h.txid = tx.txid
+			if tx.firstBirth == 0 {
+				tx.firstBirth = h.birth
+			}
+			e := tx.event(obs.KindTxBegin)
+			e.Snapshot = true
+			tx.tracer.Trace(e)
+		}
+		err, sig := runTx(fn, tx)
+		switch {
+		case sig == nil && err == nil:
+			// Nothing to lock, validate, or publish: the snapshot
+			// serializes at its read version by construction. Commit
+			// is a pair of counters and a (cheaper) tick.
+			t.Stats.Commits++
+			t.Stats.SnapshotCommits++
+			if tx.tracer != nil {
+				e := tx.event(obs.KindTxCommit)
+				e.Snapshot = true
+				e.Dur = since(e.Time, tx.firstBirth)
+				e.Reads = 0
+				tx.tracer.Trace(e)
+			}
+			t.putTx(tx)
+			t.Clock.Tick(CostSnapshotCommit)
+			return nil, true
+		case sig == nil:
+			// fn returned an error: nothing was buffered, nothing to
+			// compensate — report it without retrying, like Atomic.
+			t.Stats.UserAborts++
+			tx.emitRollback(obs.KindTxUserAbort, "error return")
+			t.putTx(tx)
+			return err, true
+		case sig.kind == sigUserAbort:
+			t.Stats.UserAborts++
+			tx.emitRollback(obs.KindTxUserAbort, sig.reason)
+			t.putTx(tx)
+			return sig.err, true
+		case sig.kind == sigFallback && sig.reason == fallbackShallowHistory:
+			// Writers truncated a var's history past the read version
+			// (lapped this reader twice), or a committer sat on a
+			// lockword for the whole spin budget. Resample the clock
+			// and re-run — not a conflict, not an abort: this reader
+			// was invisible, so no writer lost any work either.
+			t.releaseLevels(tx)
+		default:
+			// The body wrote, registered a handler, opened an
+			// open-nested child — or was violated through a handle
+			// the caller shared. Re-run on the retry path.
+			t.releaseLevels(tx)
+			t.putTx(tx)
+			return nil, false
+		}
+	}
+	t.putTx(tx)
+	return nil, false
+}
+
+// retryLoop is the ordinary optimistic path shared by Atomic and the
+// AtomicRead fallback: run fn, commit, and on any conflict roll back,
+// back off, and re-run until the transaction commits or returns.
+func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 	tx := t.getTx()
 	for attempt := 0; ; attempt++ {
 		t.Clock.Tick(CostTxBegin)
@@ -234,6 +378,7 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 		tx.readVersion = globalClock.Load()
 		tx.cur = t.getLevel(nil)
 		tx.attempt = attempt
+		tx.snapshot = false
 		if tx.locals != nil {
 			clear(tx.locals)
 		}
@@ -260,8 +405,14 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 			}
 			if tx.commit() {
 				t.Stats.Commits++
+				if tx.snapshot {
+					// SetReadOnly ran and held: the attempt's later
+					// reads were invisible snapshot reads.
+					t.Stats.SnapshotCommits++
+				}
 				if tx.tracer != nil {
 					e := tx.event(obs.KindTxCommit)
+					e.Snapshot = tx.snapshot
 					e.Dur = since(e.Time, tx.firstBirth)
 					e.Reads, e.Writes, e.Handlers = nr, nw, nh
 					tx.tracer.Trace(e)
@@ -293,6 +444,17 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 			tx.rollback()
 			t.Stats.countViolation(sig.reason)
 			tx.emitRollback(obs.KindTxViolated, sig.reason)
+		case sig.kind == sigFallback:
+			// A SetReadOnly attempt turned out to write (or register
+			// a handler): silently restart with snapshot mode pinned
+			// off. No conflict occurred and nothing was published —
+			// no abort is counted and no backoff is due; rollback
+			// runs any abort handlers registered before the switch.
+			tx.fellBack = true
+			t.Stats.SnapshotFallbacks++
+			tx.rollback()
+			t.releaseLevels(tx)
+			continue
 		default: // sigRetry
 			tx.rollback()
 			t.Stats.Aborts++
@@ -316,6 +478,12 @@ func (t *Thread) Atomic(fn func(tx *Tx) error) error {
 // child aborts: no effects, no handlers, and the error is returned with
 // the parent still viable.
 func (tx *Tx) Open(fn func(o *Tx) error) error {
+	if tx.top().snapshot {
+		// An open-nested child exists to publish effects and take
+		// semantic locks — neither is available to a read-only
+		// snapshot; restart on the retry path.
+		tx.bail(sigFallback, fallbackOpen)
+	}
 	t := tx.thread
 	o := t.getTx()
 	o.thread = t

@@ -28,6 +28,23 @@ const (
 	// sigUserAbort: tx.Abort(err) was called; unwinds to the top level,
 	// which rolls back and returns err to the caller of Atomic.
 	sigUserAbort
+	// sigFallback: a snapshot (read-only) attempt cannot proceed in
+	// snapshot mode — the body turned out to write, registered a
+	// handler, or a var's retained history was too shallow. The
+	// attempt restarts: with a fresh read version for shallow history,
+	// or on the ordinary retry path with snapshot mode off. Never
+	// counted as an abort; nothing was published or locked.
+	sigFallback
+)
+
+// Fallback reasons, as constant strings so raising one never
+// allocates. Shallow history restarts the snapshot attempt with a
+// fresh read version; everything else drops to the retry path.
+const (
+	fallbackShallowHistory = "snapshot history too shallow"
+	fallbackWrite          = "write inside read-only transaction"
+	fallbackHandler        = "handler registration inside read-only transaction"
+	fallbackOpen           = "open nesting inside read-only transaction"
 )
 
 func (s *signal) String() string {
@@ -278,6 +295,16 @@ type Tx struct {
 	// attempt counts restarts of this top-level transaction, feeding
 	// the contention manager's backoff.
 	attempt int
+	// snapshot marks a read-only MVCC-lite transaction: Var.Get reads
+	// the newest value box at or below readVersion (readAt) without
+	// recording, validating, locking, or CASing anything, and commit
+	// is a no-op. Set on every attempt under Thread.AtomicRead, or
+	// mid-attempt by SetReadOnly. Meaningful on the top-level Tx.
+	snapshot bool
+	// fellBack records that a snapshot attempt of this transaction
+	// already fell back to the retry path; SetReadOnly then stays off
+	// for the rest of the transaction so the fallback cannot loop.
+	fellBack bool
 
 	// Observability state, meaningful only on a top-level Tx (nested
 	// and open children route through top()). tracer is the sink
@@ -309,6 +336,38 @@ func (tx *Tx) Handle() *Handle { return tx.handle }
 // Attempt returns how many times this top-level transaction has been
 // restarted (0 on the first attempt).
 func (tx *Tx) Attempt() int { return tx.top().attempt }
+
+// IsSnapshot reports whether the top-level transaction is running in
+// snapshot (read-only) mode. Collections branch on it to take their
+// lock-free or lean read paths and to avoid registering handlers that
+// would force a fallback.
+func (tx *Tx) IsSnapshot() bool { return tx.top().snapshot }
+
+// SetReadOnly declares, mid-transaction, that the rest of this
+// transaction only reads: subsequent Var.Gets switch to the invisible
+// snapshot path (no read-set entries, no validation, no aborts by
+// writers). It is the escape hatch for bodies that are read-only but
+// run under Atomic — under AtomicRead snapshot mode is already on.
+//
+// The declaration is honored only while it can be: a transaction that
+// has already buffered writes, and one whose earlier snapshot attempt
+// already fell back to the retry path, stays on the ordinary path. A
+// later write (or handler registration) silently restarts the attempt
+// with snapshot mode off. Reads recorded before the switch remain in
+// the read set and are still validated at commit, so the transaction
+// stays serializable at its read version.
+func (tx *Tx) SetReadOnly() {
+	top := tx.top()
+	if top.fellBack {
+		return
+	}
+	for l := top.cur; l != nil; l = l.parent {
+		if l.writes.len() > 0 {
+			return
+		}
+	}
+	top.snapshot = true
+}
 
 // top returns the outermost Tx (self for top-level transactions).
 func (tx *Tx) top() *Tx {
@@ -354,9 +413,19 @@ func (tx *Tx) OnCommit(fn func()) { tx.OnCommitGuarded(fallbackGuard, fn) }
 // until every commit handler has run, making fn atomic with the memory
 // commit with respect to all other transactions guarded by g.
 func (tx *Tx) OnCommitGuarded(g *Guard, fn func()) {
+	tx.snapshotFallback()
 	l := tx.cur
 	l.onCommit = append(l.onCommit, fn)
 	l.commitGuards = addGuard(l.commitGuards, g)
+}
+
+// snapshotFallback drops a snapshot attempt to the retry path when the
+// body does something a read-only transaction cannot honor (handler
+// registration implies effects to publish or compensate).
+func (tx *Tx) snapshotFallback() {
+	if tx.top().snapshot {
+		tx.bail(sigFallback, fallbackHandler)
+	}
 }
 
 // OnAbort registers fn to run if the level it is associated with — and
@@ -373,6 +442,7 @@ func (tx *Tx) OnAbort(fn func()) { tx.OnAbortGuarded(fallbackGuard, fn) }
 // be pending when the transaction commits, also during the commit
 // window).
 func (tx *Tx) OnAbortGuarded(g *Guard, fn func()) {
+	tx.snapshotFallback()
 	l := tx.cur
 	l.onAbort = append(l.onAbort, fn)
 	l.abortGuards = addGuard(l.abortGuards, g)
@@ -391,6 +461,7 @@ func (tx *Tx) OnTopCommit(fn func()) { tx.OnTopCommitGuarded(fallbackGuard, fn) 
 // OnTopCommitGuarded registers a commit handler at the root level under
 // an explicit guard.
 func (tx *Tx) OnTopCommitGuarded(g *Guard, fn func()) {
+	tx.snapshotFallback()
 	l := tx.top().rootLevel()
 	l.onCommit = append(l.onCommit, fn)
 	l.commitGuards = addGuard(l.commitGuards, g)
@@ -404,6 +475,7 @@ func (tx *Tx) OnTopAbort(fn func()) { tx.OnTopAbortGuarded(fallbackGuard, fn) }
 // OnTopAbortGuarded registers an abort handler at the root level under
 // an explicit guard.
 func (tx *Tx) OnTopAbortGuarded(g *Guard, fn func()) {
+	tx.snapshotFallback()
 	l := tx.top().rootLevel()
 	l.onAbort = append(l.onAbort, fn)
 	l.abortGuards = addGuard(l.abortGuards, g)
@@ -419,6 +491,7 @@ func (tx *Tx) OnTopAbortGuarded(g *Guard, fn func()) {
 // every touched stripe, so each additional stripe's guard must be in the
 // footprint before the handler window opens.
 func (tx *Tx) AddTopGuard(g *Guard) {
+	tx.snapshotFallback()
 	l := tx.top().rootLevel()
 	l.commitGuards = addGuard(l.commitGuards, g)
 	l.abortGuards = addGuard(l.abortGuards, g)

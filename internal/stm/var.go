@@ -47,6 +47,22 @@ func packWord(ver uint64, locked bool) uint64 {
 func wordVersion(w uint64) uint64 { return w >> versionShift }
 func wordLocked(w uint64) bool    { return w&lockBit != 0 }
 
+// valBox is one committed value together with the version of the
+// commit that installed it. Boxes are immutable apart from prev, which
+// links to the box the install displaced — the MVCC-lite history that
+// lets snapshot readers find the newest value at or below their read
+// version. install truncates the displaced box's own prev, so a var
+// retains exactly one prior box: a snapshot reader lapped by two
+// commits finds no box old enough and falls back to the retry path.
+type valBox struct {
+	val any
+	ver uint64
+	// prev is the displaced box (nil once truncated by the next
+	// install). Atomic because truncation races with snapshot readers
+	// walking the chain.
+	prev atomic.Pointer[valBox]
+}
+
 // varCore is the untyped heart of a transactional variable: a boxed
 // committed value, the packed versioned lockword of the commit that
 // produced it, and an owner side-slot identifying the committing
@@ -69,19 +85,18 @@ type varCore struct {
 	// need no synchronization.
 	label string
 	word  atomic.Uint64
-	// val points to the committed value box. Boxes are immutable once
-	// published; install replaces the pointer, never the pointee, so a
-	// reader holding a stale box still sees a coherent value.
-	val atomic.Pointer[any]
+	// val points to the newest committed value box (head of the
+	// two-box history chain). install replaces the pointer, never a
+	// published box's value, so a reader holding a stale box still
+	// sees a coherent value.
+	val atomic.Pointer[valBox]
 	// owner is valid only while the lock bit is set in word.
 	owner atomic.Pointer[Handle]
 }
 
 func newVarCore(initial any) *varCore {
 	c := &varCore{id: globalVarID.Add(1)}
-	box := new(any)
-	*box = initial
-	c.val.Store(box)
+	c.val.Store(&valBox{val: initial})
 	return c
 }
 
@@ -104,7 +119,7 @@ func (c *varCore) sample(tx *Tx) (any, uint64) {
 	for spin := 0; ; spin++ {
 		w := c.word.Load()
 		if !wordLocked(w) {
-			val := *c.val.Load()
+			val := c.val.Load().val
 			if c.word.Load() == w {
 				return val, wordVersion(w)
 			}
@@ -115,7 +130,7 @@ func (c *varCore) sample(tx *Tx) (any, uint64) {
 		if c.owner.Load() == tx.handle {
 			// Locked by this transaction's own commit machinery; the
 			// current box and version bits are still ours to read.
-			return *c.val.Load(), wordVersion(w)
+			return c.val.Load().val, wordVersion(w)
 		}
 		tx.check()
 		if spin >= 64 {
@@ -164,13 +179,54 @@ func (c *varCore) unlock() {
 }
 
 // install publishes a new committed value at version wv and releases
-// the lock in the same atomic store. Holder-only.
+// the lock in the same atomic store. Holder-only. The displaced box is
+// retained behind the new one for snapshot readers, and its own prev
+// is truncated first, bounding every var's history to one prior box
+// regardless of write traffic.
 func (c *varCore) install(val any, wv uint64) {
-	box := new(any)
-	*box = val
+	box := &valBox{val: val, ver: wv}
+	old := c.val.Load()
+	old.prev.Store(nil)
+	box.prev.Store(old)
 	c.val.Store(box)
 	c.owner.Store(nil)
 	c.word.Store(packWord(wv, false))
+}
+
+// readAt is the MVCC-lite snapshot read: the newest committed value
+// with version ≤ rv, found by walking the box chain — no lock, no CAS,
+// no read-set entry. ok=false means the snapshot attempt must restart
+// (and eventually fall back to the retry path): either both retained
+// boxes are newer than rv (two commits lapped the reader), or a
+// committer held the lockword for the whole spin budget.
+//
+// Safety of the unlocked walk: a commit acquires the var's lockword
+// before it draws its write version from the global clock, and install
+// publishes the new box before the single release store of the word.
+// A reader that samples rv and then observes the word unlocked
+// therefore knows every install at a version ≤ rv is fully present in
+// the chain; any install that lands mid-walk carries a version > rv
+// and only prepends. A concurrent truncation can cut the chain under
+// the walk, but that yields nil — reported as shallow history, never a
+// wrong value.
+func (c *varCore) readAt(clock Clock, rv uint64) (any, bool) {
+	for spin := 0; ; spin++ {
+		w := c.word.Load()
+		if !wordLocked(w) {
+			for b := c.val.Load(); b != nil; b = b.prev.Load() {
+				if b.ver <= rv {
+					return b.val, true
+				}
+			}
+			return nil, false
+		}
+		if spin >= 64 {
+			// A stalled committer holds the word; give up the attempt
+			// rather than spin forever (the restart resamples rv).
+			return nil, false
+		}
+		clock.Wait(4)
+	}
 }
 
 // Var is a transactional variable holding a value of type T. All reads
@@ -208,6 +264,18 @@ func (v *Var[T]) Label() string { return v.core.label }
 func (v *Var[T]) Get(tx *Tx) T {
 	tx.check()
 	c := v.core
+	top := tx.top()
+	if top.snapshot {
+		// Snapshot mode: invisible read against the frozen read
+		// version. Nothing is recorded, validated, or extended; a
+		// writer can never observe — let alone abort — this reader.
+		val, ok := c.readAt(tx.thread.Clock, top.readVersion)
+		if !ok {
+			tx.bail(sigFallback, fallbackShallowHistory)
+		}
+		tx.tick(CostRead)
+		return val.(T)
+	}
 	for l := tx.cur; l != nil; l = l.parent {
 		if val, ok := l.writes.get(c); ok {
 			tx.tick(CostRead)
@@ -225,9 +293,15 @@ func (v *Var[T]) Get(tx *Tx) T {
 
 // Set buffers a write of val into tx's current nesting level (lazy
 // versioning); it becomes globally visible only if the top-level
-// transaction commits.
+// transaction commits. Inside a snapshot (read-only) transaction a
+// write cannot be honored — snapshot reads were never recorded, so
+// there is nothing to validate a writing commit against — and the
+// attempt restarts on the ordinary retry path instead.
 func (v *Var[T]) Set(tx *Tx, val T) {
 	tx.check()
+	if tx.top().snapshot {
+		tx.bail(sigFallback, fallbackWrite)
+	}
 	tx.cur.writes.put(v.core, val)
 	tx.tick(CostWrite)
 }
@@ -239,7 +313,7 @@ func (v *Var[T]) Set(tx *Tx, val T) {
 // (value boxes are immutable, so even a mid-install reader sees a
 // coherent old-or-new value).
 func (v *Var[T]) GetCommitted() T {
-	return (*v.core.val.Load()).(T)
+	return v.core.val.Load().val.(T)
 }
 
 // SetCommitted installs a value outside any transaction, as if by an

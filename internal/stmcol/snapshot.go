@@ -1,0 +1,108 @@
+package stmcol
+
+import (
+	"tcc/internal/stm"
+)
+
+// Snapshot entry points (DESIGN.md §4.4). Every read operation of these
+// collections is a pure composition of stm.Var reads, so inside an
+// stm.Thread.AtomicRead body they already ride the MVCC-lite snapshot
+// path end to end: no lockword CAS, no read-set, no aborts, and — the
+// property the Var-level machinery cannot give internal/core — a fully
+// serializable multi-operation view at one read version, including
+// whole-structure walks that a committing writer cannot tear.
+//
+// The wrappers below package the common read-only shapes as one-call
+// snapshot transactions. Reads against a bucket or tree node that a
+// writer has lapped twice transparently restart or fall back inside
+// AtomicRead; the caller never sees the difference.
+
+// SnapshotGet returns k's mapping as one read-only snapshot
+// transaction on t.
+func (m *HashMap[K, V]) SnapshotGet(t *stm.Thread, k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = t.AtomicRead(func(tx *stm.Tx) error {
+		v, ok = m.Get(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// SnapshotContainsKey reports whether k is mapped, as one read-only
+// snapshot transaction on t.
+func (m *HashMap[K, V]) SnapshotContainsKey(t *stm.Thread, k K) bool {
+	_, ok := m.SnapshotGet(t, k)
+	return ok
+}
+
+// SnapshotSize returns the map's size without touching the size-field
+// hotspot's lockword: the §2.4 "global counter" read with none of its
+// conflicts.
+func (m *HashMap[K, V]) SnapshotSize(t *stm.Thread) int {
+	var n int
+	_ = t.AtomicRead(func(tx *stm.Tx) error {
+		n = m.Size(tx)
+		return nil
+	})
+	return n
+}
+
+// SnapshotForEach walks every mapping in one read-only snapshot
+// transaction: the walk observes one read version, so a concurrent
+// rehash or chain edit is either fully visible or fully invisible.
+func (m *HashMap[K, V]) SnapshotForEach(t *stm.Thread, fn func(k K, v V) bool) {
+	_ = t.AtomicRead(func(tx *stm.Tx) error {
+		m.ForEach(tx, fn)
+		return nil
+	})
+}
+
+// SnapshotGet returns k's mapping as one read-only snapshot
+// transaction on th.
+func (t *TreeMap[K, V]) SnapshotGet(th *stm.Thread, k K) (V, bool) {
+	var v V
+	var ok bool
+	_ = th.AtomicRead(func(tx *stm.Tx) error {
+		v, ok = t.Get(tx, k)
+		return nil
+	})
+	return v, ok
+}
+
+// SnapshotContainsKey reports whether k is mapped, as one read-only
+// snapshot transaction on th.
+func (t *TreeMap[K, V]) SnapshotContainsKey(th *stm.Thread, k K) bool {
+	_, ok := t.SnapshotGet(th, k)
+	return ok
+}
+
+// SnapshotSize returns the tree's size without conflicting with
+// writers.
+func (t *TreeMap[K, V]) SnapshotSize(th *stm.Thread) int {
+	var n int
+	_ = th.AtomicRead(func(tx *stm.Tx) error {
+		n = t.Size(tx)
+		return nil
+	})
+	return n
+}
+
+// SnapshotForEach walks the tree in key order in one read-only
+// snapshot transaction; a concurrent rebalance cannot tear the walk —
+// rotations committed after the snapshot's read version are invisible.
+func (t *TreeMap[K, V]) SnapshotForEach(th *stm.Thread, fn func(k K, v V) bool) {
+	_ = th.AtomicRead(func(tx *stm.Tx) error {
+		t.ForEach(tx, fn)
+		return nil
+	})
+}
+
+// SnapshotAscendRange walks [lo, hi) in key order in one read-only
+// snapshot transaction (nil bounds are open, as in AscendRange).
+func (t *TreeMap[K, V]) SnapshotAscendRange(th *stm.Thread, lo, hi *K, fn func(k K, v V) bool) {
+	_ = th.AtomicRead(func(tx *stm.Tx) error {
+		t.AscendRange(tx, lo, hi, fn)
+		return nil
+	})
+}

@@ -50,6 +50,11 @@ go run ./cmd/tccbench -fig 5 -ops 64 -cpus 1,2 >/dev/null
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
 
+echo "== snapshot-read smoke (MVCC-lite path: wait-free readers + figure 7 sim run)"
+go test -run 'TestSnapshotReadersNonBlocking|TestSnapshotReadOnlyAllocationGuardrail' \
+  -count=1 ./internal/stm >/dev/null
+go run ./cmd/tccbench -fig 7 -ops 64 -cpus 1,2 >/dev/null
+
 echo "== observability smoke (profile + stats-json + trace, validated)"
 obsdir=$(mktemp -d)
 trap 'rm -rf "$obsdir"' EXIT
