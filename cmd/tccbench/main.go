@@ -29,19 +29,36 @@
 // A -trace file loads in Perfetto / chrome://tracing: one lane per
 // virtual CPU, committed transactions as spans, conflicts and backoffs
 // as annotated slices.
+//
+// Long-running metrics mode:
+//
+//	tccbench -metrics-addr 127.0.0.1:0 -run-for 30s
+//
+// instead of the figure sweep, runs a sustained contended workload on
+// real goroutines, serves live windowed metrics over HTTP (/metrics in
+// Prometheus text format, /metrics.json as JSON), starts the
+// background monitor thread, and prints the bound listen address on
+// the first stdout line so scripts can scrape it. -run-for 0 runs
+// until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"tcc/internal/harness"
 	"tcc/internal/jbb"
 	"tcc/internal/obs"
+	"tcc/internal/obs/metrics"
 )
 
 func main() {
@@ -54,8 +71,15 @@ func main() {
 		profileFlag = flag.Bool("profile", false, "print per-variable conflict heatmaps")
 		jsonFlag    = flag.String("stats-json", "", "write machine-readable results to `file` ('-' for stdout)")
 		traceFlag   = flag.String("trace", "", "write Chrome trace_event JSON to `file` ('-' for stdout)")
+		metricsFlag = flag.String("metrics-addr", "", "serve live metrics at `addr` and run a sustained workload instead of the figure sweep")
+		runForFlag  = flag.Duration("run-for", 0, "with -metrics-addr, stop the sustained workload after this duration (0 = until interrupted)")
+		workersFlag = flag.Int("workers", 4, "with -metrics-addr, number of workload goroutines")
 	)
 	flag.Parse()
+
+	if *metricsFlag != "" {
+		os.Exit(runSustained(*metricsFlag, *runForFlag, *workersFlag, *seedFlag))
+	}
 
 	cpus, err := parseCPUs(*cpusFlag)
 	if err != nil {
@@ -116,6 +140,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runSustained is the -metrics-addr mode: enable the metrics plane,
+// serve /metrics and /metrics.json on addr, start the background
+// monitor, and drive the sustained workload until the duration elapses
+// or the process is interrupted. The first stdout line is the bound
+// address (resolved from :0 if requested), so scripts can scrape it.
+func runSustained(addr string, runFor time.Duration, workers int, seed int64) int {
+	metrics.SetEnabled(true)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tccbench:", err)
+		return 1
+	}
+	fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+
+	srv := &http.Server{Handler: metrics.NewMux(metrics.Default)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	mon := metrics.NewMonitor(metrics.Default, metrics.MonitorConfig{
+		Logger: log.New(os.Stderr, "", log.LstdFlags),
+	})
+	mon.Start()
+
+	stop := make(chan struct{})
+	done := make(chan harness.SustainedResult, 1)
+	go func() { done <- harness.RunSustained(workers, seed, stop) }()
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	var timeout <-chan time.Time
+	if runFor > 0 {
+		timeout = time.After(runFor)
+	}
+	select {
+	case <-timeout:
+	case <-interrupt:
+		fmt.Fprintln(os.Stderr, "tccbench: interrupted, shutting down")
+	}
+	close(stop)
+	res := <-done
+	mon.Stop()
+	srv.Close()
+	<-serveErr
+
+	st := res.Stats
+	fmt.Printf("sustained: workers=%d ops=%d elapsed=%s commits=%d aborts=%d violations=%d snapshot=%d fallbacks=%d\n",
+		res.Workers, res.Ops, res.Elapsed.Round(time.Millisecond),
+		st.Commits, st.Aborts, st.Violations, st.SnapshotCommits, st.SnapshotFallbacks)
+	return 0
 }
 
 // writeTo streams write to path, with "-" meaning stdout.

@@ -8,9 +8,12 @@
 //	tracecheck -trace trace.json   # Chrome trace_event JSON: decodes, has
 //	                               # metadata plus ≥1 event, well-formed
 //	                               # phases
+//	tracecheck -prom-url URL       # live /metrics endpoint: scrape parses
+//	                               # as the 0.0.4 text format and carries
+//	                               # every family the STM registers
 //
-// Both flags may be given at once. Exit status 0 means all supplied
-// files validate; any failure prints a reason and exits 1.
+// All flags may be given at once. Exit status 0 means all supplied
+// artifacts validate; any failure prints a reason and exits 1.
 package main
 
 import (
@@ -27,10 +30,11 @@ func main() {
 	var (
 		statsFlag = flag.String("stats", "", "validate a -stats-json report `file`")
 		traceFlag = flag.String("trace", "", "validate a -trace Chrome trace `file`")
+		promFlag  = flag.String("prom-url", "", "validate a live Prometheus text endpoint at `url`")
 	)
 	flag.Parse()
-	if *statsFlag == "" && *traceFlag == "" {
-		fmt.Fprintln(os.Stderr, "tracecheck: at least one of -stats or -trace is required")
+	if *statsFlag == "" && *traceFlag == "" && *promFlag == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: at least one of -stats, -trace or -prom-url is required")
 		os.Exit(2)
 	}
 	check := func(path string, fn func(io.Reader) error) {
@@ -50,6 +54,12 @@ func main() {
 	}
 	if *traceFlag != "" {
 		check(*traceFlag, checkTrace)
+	}
+	if *promFlag != "" {
+		if err := checkPromURL(*promFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *promFlag, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("tracecheck: ok")
 }

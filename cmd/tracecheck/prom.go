@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tcc/internal/obs/metrics"
+)
+
+// requiredFamilies are the metric families a live tccbench
+// -metrics-addr process must expose. Names come from the same
+// constants the instrumentation registers under, so the validator
+// cannot drift from the STM.
+var requiredFamilies = []string{
+	metrics.StmCommits,
+	metrics.StmAborts,
+	metrics.StmRetries,
+	metrics.StmSnapshotCommits,
+	metrics.StmGuardWaits,
+	metrics.StmGuardWaitNs,
+	metrics.StmClock,
+	metrics.StmTxLatency,
+	metrics.CollectionViolations,
+	metrics.MonitorAbortRate,
+	metrics.MonitorAlert,
+}
+
+// checkPromURL fetches url and validates the scrape with checkProm.
+func checkPromURL(url string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("Content-Type %q is not the 0.0.4 text format", ct)
+	}
+	return checkProm(resp.Body)
+}
+
+// promFamily is one parsed metric family from a text exposition.
+type promFamily struct {
+	typ     string
+	help    bool
+	samples int
+}
+
+// checkProm parses a Prometheus 0.0.4 text exposition (a small
+// tracecheck-style parser, not a client library): every sample must
+// be syntactically well-formed and belong to a family announced by a
+// preceding # TYPE line, every family needs # HELP and at least one
+// sample, summaries need their quantile/_sum/_count series, and the
+// STM's required families must all be present.
+func checkProm(r io.Reader) error {
+	fams := map[string]*promFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", line, text)
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &promFamily{}
+				fams[name] = f
+			}
+			if fields[1] == "HELP" {
+				f.help = true
+			} else {
+				f.typ = fields[3]
+			}
+			continue
+		}
+		name, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		base := sampleFamily(name, fams)
+		f := fams[base]
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %q precedes its # TYPE line", line, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample %q has non-numeric value %q", line, name, value)
+		}
+		f.samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, f := range fams {
+		if !f.help {
+			return fmt.Errorf("family %s has no # HELP line", name)
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %s announced but has no samples", name)
+		}
+	}
+	for _, name := range requiredFamilies {
+		if fams[name] == nil {
+			return fmt.Errorf("required family %s missing from scrape", name)
+		}
+	}
+	return nil
+}
+
+// parseSample splits a sample line into its metric name (label block
+// stripped) and value, validating the basic shape.
+func parseSample(text string) (name, value string, err error) {
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced label braces in %q", text)
+		}
+		name = text[:i]
+		rest = strings.TrimSpace(text[j+1:])
+	} else {
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return "", "", fmt.Errorf("sample %q is not 'name value'", text)
+		}
+		return fields[0], fields[1], nil
+	}
+	if name == "" || rest == "" {
+		return "", "", fmt.Errorf("sample %q missing name or value", text)
+	}
+	return name, rest, nil
+}
+
+// sampleFamily maps a sample's metric name back to its family:
+// summary _sum/_count samples belong to the base family.
+func sampleFamily(name string, fams map[string]*promFamily) string {
+	if fams[name] != nil {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && fams[base] != nil {
+			return base
+		}
+	}
+	return name
+}

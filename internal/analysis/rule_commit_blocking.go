@@ -20,9 +20,11 @@ import (
 // is ordered and IS the window boundary), stm.Guard's methods, the
 // /concurrent package (the deliberately lock-based baselines the
 // benchmarks compare against, reachable through CHA over-approximation
-// from any collections interface call), and /obs (its emission inside
+// from any collections interface call), /obs (its emission inside
 // windows is trace-in-commit's finding; reporting it twice under two
-// rule IDs would double every diagnostic).
+// rule IDs would double every diagnostic), and /obs/metrics (the live
+// metrics plane's increment paths are atomic-only and are designed to
+// run inside hold windows).
 var ruleCommitBlocking = &Rule{
 	ID:  "commit-window-blocking",
 	Doc: "blocking operation (sleep, channel, mutex, I/O) reachable from a commit-guard hold window or handler",
@@ -102,11 +104,20 @@ func blockingTrusted(fn *types.Func) bool {
 	}
 	if pkg := fn.Pkg(); pkg != nil {
 		path := pkg.Path()
-		if strings.HasSuffix(path, "/concurrent") || isObsPath(path) {
+		if strings.HasSuffix(path, "/concurrent") || isObsPath(path) || isMetricsPath(path) {
 			return true
 		}
 	}
 	return false
+}
+
+// isMetricsPath matches the live metrics plane (internal/obs/metrics),
+// trusted inside windows by design: its increment paths (Counter.Add,
+// Summary.Observe, Gauge.Set) are atomic-only, and registration —
+// which does take a mutex — happens at collection-construction time,
+// never inside a window.
+func isMetricsPath(path string) bool {
+	return path == "metrics" || strings.HasSuffix(path, "/obs/metrics")
 }
 
 // blockingEffectsIn collects the blocking operations lexically present

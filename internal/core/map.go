@@ -59,6 +59,7 @@ import (
 	"strconv"
 
 	"tcc/internal/collections"
+	"tcc/internal/obs/metrics"
 	"tcc/internal/semlock"
 	"tcc/internal/stm"
 )
@@ -166,6 +167,12 @@ type mapStripe[K comparable, V any] struct {
 	key2lockers  *semlock.KeyTable[K]
 	sizeLockers  *semlock.OwnerSet
 	emptyLockers *semlock.OwnerSet
+	// violations counts semantic violations this stripe's sweeps landed
+	// on other transactions (metrics plane; labels collection+stripe,
+	// named by SetName). Incremented with atomic-only adds inside the
+	// commit-guard hold window — the one in-window operation the
+	// metrics discipline allows — and only when metrics.On().
+	violations *metrics.Counter
 }
 
 // TransactionalMap wraps any collections.Map and provides concurrent,
@@ -283,6 +290,15 @@ func (tm *TransactionalMap[K, V]) SetName(name string) {
 		for i, st := range tm.stripes {
 			st.guard.SetLabel(name + ".stripe[" + strconv.Itoa(i) + "]")
 		}
+	}
+	// Per-stripe violation counters reuse the guard-label naming, so
+	// scrapes, CPU-profile labels and guard-wait heatmaps all attribute
+	// to the same names. Registration locks the registry mutex — fine
+	// here (setup time), never inside a guard window.
+	for i, st := range tm.stripes {
+		st.violations = metrics.Default.Counter(metrics.CollectionViolations,
+			"Semantic violations landed by this collection stripe's conflict sweeps",
+			metrics.L("collection", name), metrics.L("stripe", strconv.Itoa(i)))
 	}
 	tm.reasonKey = name + ": key conflict"
 	tm.reasonSize = name + ": size conflict"
@@ -601,7 +617,10 @@ func (tm *TransactionalMap[K, V]) readCommittedWrite(tx *stm.Tx, l *mapLocal[K, 
 		h := o.Handle()
 		tm.lockKeyLocked(l, h, k)
 		if forWrite && tm.eagerWriteCheck {
-			st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+			n := st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+			if n > 0 && metrics.On() {
+				st.violations.Add(uint64(n))
+			}
 		}
 		v, present = st.m.Get(k)
 		return nil
@@ -731,11 +750,14 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 	if tm.sorted != nil && len(l.storeBuffer) > 0 {
 		oldFirst, oldLast = tm.endpointsLocked()
 	}
+	// mon gates the per-stripe violation counters: one atomic load for
+	// the whole sweep, then atomic-only Adds (the window discipline).
+	mon := metrics.On()
 	for k, w := range l.storeBuffer {
 		st := tm.stripes[tm.StripeOf(k)]
 		// Key conflict based on argument: abort every other reader (or
 		// locking writer) of this key.
-		st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
+		n := st.key2lockers.ViolateOthers(k, h, tm.reasonKey)
 		var membershipChanged bool
 		if w.removed {
 			_, had := st.m.Remove(k)
@@ -746,7 +768,10 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 		}
 		if tm.sorted != nil && membershipChanged {
 			// Range conflict: the key entered or left an iterated range.
-			tm.sorted.rangeLockers.ViolateCovering(k, h, tm.reasonRange)
+			n += tm.sorted.rangeLockers.ViolateCovering(k, h, tm.reasonRange)
+		}
+		if mon && n > 0 {
+			st.violations.Add(uint64(n))
 		}
 	}
 	if len(l.storeBuffer) > 0 {
@@ -758,22 +783,30 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 			if l.touched&(uint64(1)<<uint(si)) == 0 {
 				continue
 			}
+			n := 0
 			newSize := st.m.Size()
 			if newSize != oldSizes[si] {
-				st.sizeLockers.ViolateOthers(h, tm.reasonSize)
+				n += st.sizeLockers.ViolateOthers(h, tm.reasonSize)
 			}
 			if (oldSizes[si] == 0) != (newSize == 0) {
-				st.emptyLockers.ViolateOthers(h, tm.reasonEmpty)
+				n += st.emptyLockers.ViolateOthers(h, tm.reasonEmpty)
+			}
+			if mon && n > 0 {
+				st.violations.Add(uint64(n))
 			}
 		}
 	}
 	if tm.sorted != nil && len(l.storeBuffer) > 0 {
+		n := 0
 		newFirst, newLast := tm.endpointsLocked()
 		if !tm.sameKey(oldFirst, newFirst) {
-			tm.sorted.firstLockers.ViolateOthers(h, tm.reasonFirst)
+			n += tm.sorted.firstLockers.ViolateOthers(h, tm.reasonFirst)
 		}
 		if !tm.sameKey(oldLast, newLast) {
-			tm.sorted.lastLockers.ViolateOthers(h, tm.reasonLast)
+			n += tm.sorted.lastLockers.ViolateOthers(h, tm.reasonLast)
+		}
+		if mon && n > 0 {
+			tm.stripes[0].violations.Add(uint64(n))
 		}
 	}
 	tm.releaseLocked(l, h)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"tcc/internal/collections"
+	"tcc/internal/obs/metrics"
 	"tcc/internal/semlock"
 	"tcc/internal/stm"
 )
@@ -33,6 +34,9 @@ type TransactionalQueue[T any] struct {
 	name           string
 	reasonRefill   string
 	reasonNotEmpty string
+	// violations counts semantic violations landed by this queue's
+	// empty-lock sweeps (metrics plane; atomic-only, guard-window safe).
+	violations *metrics.Counter
 }
 
 // queueLocal is the local transaction state of Table 9.
@@ -62,6 +66,9 @@ func (tq *TransactionalQueue[T]) SetName(name string) {
 	tq.guard.SetLabel(name)
 	tq.reasonNotEmpty = name + ": no longer empty"
 	tq.reasonRefill = name + ": refilled on abort"
+	tq.violations = metrics.Default.Counter(metrics.CollectionViolations,
+		"Semantic violations landed by this collection stripe's conflict sweeps",
+		metrics.L("collection", name), metrics.L("stripe", "0"))
 }
 
 // Name returns the label set by SetName.
@@ -89,7 +96,10 @@ func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
 		}
 		if wasEmpty && len(l.addBuffer) > 0 {
 			// Table 8: put's write conflict fires "if now non-empty".
-			tq.emptyLockers.ViolateOthers(h, tq.reasonNotEmpty)
+			n := tq.emptyLockers.ViolateOthers(h, tq.reasonNotEmpty)
+			if n > 0 && metrics.On() {
+				tq.violations.Add(uint64(n))
+			}
 		}
 		if l.emptyLocked {
 			tq.emptyLockers.Unlock(h)
@@ -105,7 +115,10 @@ func (tq *TransactionalQueue[T]) local(tx *stm.Tx) *queueLocal[T] {
 			tq.q.Enqueue(v)
 		}
 		if wasEmpty && len(l.removeBuffer) > 0 {
-			tq.emptyLockers.ViolateOthers(h, tq.reasonRefill)
+			n := tq.emptyLockers.ViolateOthers(h, tq.reasonRefill)
+			if n > 0 && metrics.On() {
+				tq.violations.Add(uint64(n))
+			}
 		}
 		if l.emptyLocked {
 			tq.emptyLockers.Unlock(h)

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tcc/internal/obs"
@@ -74,10 +77,17 @@ func RunFigureOpts(title string, configs []Config, cpus []int, totalOps int, see
 				obs.SetTracer(obs.Tee(prev, prof))
 			}
 			per := totalOps / n
-			res := pl.Run(n, func(w *Worker) {
-				for i := 0; i < per; i++ {
-					exec(w)
-				}
+			// pprof labels are inherited by goroutines spawned inside
+			// Do, so every worker the platform starts is attributed to
+			// this figure/config/cpus cell in CPU profiles.
+			labels := pprof.Labels("figure", title, "config", cfg.Name, "cpus", strconv.Itoa(n))
+			var res Result
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				res = pl.Run(n, func(w *Worker) {
+					for i := 0; i < per; i++ {
+						exec(w)
+					}
+				})
 			})
 			if prof != nil {
 				obs.SetTracer(prev)

@@ -48,10 +48,15 @@ func (h *Hist) Observe(lane int, v uint64) {
 	s.bucket[bucketOf(v)].Add(1)
 }
 
-// HistSnapshot is a merged, immutable view of a Hist.
+// HistSnapshot is a merged, immutable view of a Hist. P50/P99/P999
+// are the precomputed quantile upper bounds (see Quantile), exported
+// so JSON consumers get them without re-deriving from Buckets.
 type HistSnapshot struct {
 	Count   uint64       `json:"count"`
 	Sum     uint64       `json:"sum"`
+	P50     uint64       `json:"p50"`
+	P99     uint64       `json:"p99"`
+	P999    uint64       `json:"p999"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -93,6 +98,9 @@ func (h *Hist) Snapshot() HistSnapshot {
 		lo, hi := bucketBounds(i)
 		snap.Buckets = append(snap.Buckets, HistBucket{Lo: lo, Hi: hi, N: n})
 	}
+	snap.P50 = snap.Quantile(0.50)
+	snap.P99 = snap.Quantile(0.99)
+	snap.P999 = snap.Quantile(0.999)
 	return snap
 }
 

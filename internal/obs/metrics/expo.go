@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// family, then one sample line per metric. Counters emit the
+// cumulative total plus a sibling <name>_window gauge carrying the
+// trailing-window count (Prometheus-side rate() works on the total;
+// the _window family gives in-process rates without a server).
+// Summaries emit windowed quantile samples plus _sum and _count —
+// note that unlike textbook Prometheus summaries those two are
+// windowed as well, matching the quantiles (documented in DESIGN.md
+// §10).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.Gather() {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f FamilySnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, escapeHelp(f.Help), f.Name, f.Type); err != nil {
+		return err
+	}
+	switch f.Type {
+	case "summary":
+		for _, m := range f.Metrics {
+			s := m.Summary
+			if s == nil {
+				continue
+			}
+			for _, q := range [...]struct {
+				q string
+				v uint64
+			}{{"0.5", s.P50}, {"0.99", s.P99}, {"0.999", s.P999}} {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.Name, labelString(m.Labels, L("quantile", q.q)), q.v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+				f.Name, labelString(m.Labels), s.Sum, f.Name, labelString(m.Labels), s.Count); err != nil {
+				return err
+			}
+		}
+	default:
+		for _, m := range f.Metrics {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(m.Labels), formatValue(m.Value)); err != nil {
+				return err
+			}
+		}
+		if f.Type == "counter" {
+			// Sibling windowed family: trailing-window counts as a gauge.
+			if _, err := fmt.Fprintf(w, "# HELP %s_window %s (trailing window)\n# TYPE %s_window gauge\n",
+				f.Name, escapeHelp(f.Help), f.Name); err != nil {
+				return err
+			}
+			for _, m := range f.Metrics {
+				if _, err := fmt.Fprintf(w, "%s_window%s %d\n", f.Name, labelString(m.Labels), m.Windowed); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders integers without an exponent and everything
+// else in the shortest float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelString(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, l := range labels {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range extra {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// WriteJSON renders the same Gather() view as indented JSON, the
+// machine-readable sibling of the Prometheus endpoint.
+func WriteJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		WindowSeconds float64          `json:"window_seconds"`
+		Families      []FamilySnapshot `json:"families"`
+	}{r.Window().Seconds(), r.Gather()})
+}

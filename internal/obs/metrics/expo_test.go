@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildExpoRegistry constructs a registry with one instrument of each
+// type and deterministic contents for the golden exposition test.
+func buildExpoRegistry() *Registry {
+	r := NewRegistry(10 * time.Second)
+	c := r.Counter("tcc_test_commits_total", "Committed transactions", L("cause", "ok"))
+	c.Add(42)
+	g := r.Gauge("tcc_test_clock", "Global commit clock")
+	g.Set(7)
+	s := r.Summary("tcc_test_latency", "Transaction latency")
+	for i := 0; i < 100; i++ {
+		s.Observe(0, 7)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(0, 1000)
+	}
+	return r
+}
+
+// TestWritePrometheusGolden pins the exact text exposition: HELP/TYPE
+// pairs, label rendering, the counter's sibling _window gauge family,
+// and the summary's windowed quantile/_sum/_count samples.
+func TestWritePrometheusGolden(t *testing.T) {
+	const golden = `# HELP tcc_test_clock Global commit clock
+# TYPE tcc_test_clock gauge
+tcc_test_clock 7
+# HELP tcc_test_commits_total Committed transactions
+# TYPE tcc_test_commits_total counter
+tcc_test_commits_total{cause="ok"} 42
+# HELP tcc_test_commits_total_window Committed transactions (trailing window)
+# TYPE tcc_test_commits_total_window gauge
+tcc_test_commits_total_window{cause="ok"} 42
+# HELP tcc_test_latency Transaction latency
+# TYPE tcc_test_latency summary
+tcc_test_latency{quantile="0.5"} 7
+tcc_test_latency{quantile="0.99"} 1023
+tcc_test_latency{quantile="0.999"} 1023
+tcc_test_latency_sum 10700
+tcc_test_latency_count 110
+`
+	var b strings.Builder
+	if err := WritePrometheus(&b, buildExpoRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, buildExpoRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		WindowSeconds float64          `json:"window_seconds"`
+		Families      []FamilySnapshot `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("JSON endpoint emitted invalid JSON: %v", err)
+	}
+	if doc.WindowSeconds != 10 {
+		t.Fatalf("window_seconds = %v, want 10", doc.WindowSeconds)
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range doc.Families {
+		byName[f.Name] = f
+	}
+	if f := byName["tcc_test_commits_total"]; len(f.Metrics) != 1 || f.Metrics[0].Value != 42 {
+		t.Fatalf("counter family = %+v, want one metric of value 42", f)
+	}
+	sum := byName["tcc_test_latency"]
+	if len(sum.Metrics) != 1 || sum.Metrics[0].Summary == nil {
+		t.Fatalf("summary family = %+v, want an embedded summary", sum)
+	}
+	if sn := sum.Metrics[0].Summary; sn.Count != 110 || sn.P999 != 1023 {
+		t.Fatalf("summary snapshot = %+v, want count 110 p999 1023", sn)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry(time.Second)
+	r.Counter("tcc_test_escape_total", "line\nbreak", L("k", `a"b\c`))
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `line\nbreak`) {
+		t.Fatalf("help newline not escaped:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `k="a\"b\\c"`) {
+		t.Fatalf("label quoting not escaped:\n%s", b.String())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := buildExpoRegistry()
+	mux := NewMux(r)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Fatalf("/metrics status = %d", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want the 0.0.4 text format", ct)
+	}
+	if body := rw.Body.String(); !strings.Contains(body, "tcc_test_commits_total") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	req = httptest.NewRequest("GET", "/metrics.json", nil)
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Fatalf("/metrics.json status = %d", rw.Code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+}
+
+// TestConcurrentScrape hammers counters and summaries from writer
+// goroutines while scraping and rotating concurrently — the -race
+// checker validates the lock-free increment/rotate/snapshot paths.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry(80 * time.Millisecond) // 10ms slots: rotation is exercised
+	c := r.CounterSharded("tcc_test_race_total", "events", 4)
+	s := r.Summary("tcc_test_race_latency", "latency")
+	g := r.Gauge("tcc_test_race_gauge", "gauge")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.AddLane(w, 1)
+				s.Observe(w, uint64(i%1024))
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	start := time.Now()
+	for time.Since(start) < 150*time.Millisecond {
+		r.Advance(time.Now())
+		if err := WritePrometheus(io.Discard, r); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Total() == 0 {
+		t.Fatalf("no increments observed")
+	}
+}

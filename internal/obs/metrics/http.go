@@ -1,0 +1,38 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns an http.ServeMux (stdlib only) exposing the
+// registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON sibling (same Gather view, window included)
+//	/debug/pprof/  runtime profiles — CPU profiles taken here carry
+//	               the pprof labels the harness attaches to workers
+//	               (figure/config, collection, snapshot-vs-retry)
+//
+// Every scrape calls Advance first, so the windowed views stay fresh
+// even without a running Monitor.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		r.Advance(time.Now())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		r.Advance(time.Now())
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = WriteJSON(w, r)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

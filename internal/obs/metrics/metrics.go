@@ -1,0 +1,366 @@
+// Package metrics is the live metrics plane: a lock-free, sharded
+// runtime metrics registry (counters, gauges, and time-windowed
+// summaries) with the same disabled-fast-path discipline as the
+// tracer in internal/obs — when metrics are off the per-event cost is
+// one atomic load (metrics.On()), zero allocations, enforced by
+// AllocsPerRun guardrails in internal/stm.
+//
+// Window semantics: every instrument keeps a cumulative total plus a
+// ring of windowSlots rolling slots. Registry.Advance rotates the
+// ring as wall time passes; the "windowed" view of an instrument is
+// the merge of all live slots, so it covers between (slots-1)/slots
+// and 1.0 of the configured window. Rotation races with concurrent
+// increments are benign: an increment may land in a slot that is
+// being cleared and be dropped from the window (never from the
+// cumulative total). Advance is called by the background Monitor and
+// by every scrape, so windows stay fresh without a dedicated ticker.
+//
+// metrics is a leaf package: it imports neither internal/stm nor
+// internal/obs. That keeps calls from commit-guard hold windows
+// (per-stripe violation counters in internal/core) clean of the
+// stmlint trace-in-commit rule, and the package is in the
+// commit-window-blocking trusted set because its increment paths are
+// atomic-only (registration, which locks a mutex, happens at
+// collection-construction time, never inside a window).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-global gate. The hot path is On(): one
+// atomic load, mirroring obs.Active().
+var enabled atomic.Bool
+
+// SetEnabled turns the metrics plane on or off. In-flight
+// transactions pick the new state up on their next attempt (the STM
+// samples On() once per attempt, like the tracer).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// On reports whether the metrics plane is enabled. This is the
+// hot-path check: one atomic load.
+func On() bool { return enabled.Load() }
+
+// windowSlots is the ring length of every windowed instrument. With
+// the default 10s window each slot covers 1.25s and the windowed view
+// spans 8.75–10s.
+const windowSlots = 8
+
+// Label is one name=value pair attached to a metric within a family.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// labelKey serializes a label set into a map key (labels are sorted
+// at registration, so equal sets collide).
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// instrument is the registry-internal view of one metric: rotate
+// clears a ring slot, snapshot renders the current state.
+type instrument interface {
+	rotate(slot int)
+	snapshot() MetricSnapshot
+}
+
+// family groups metrics sharing one name, type and help string.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "summary"
+	order   []string
+	metrics map[string]instrument
+}
+
+// Registry owns a set of metric families and the shared window ring.
+// Instruments are obtained once (get-or-create, mutex-protected) and
+// then used lock-free; the hot path never touches the registry map.
+type Registry struct {
+	window  time.Duration
+	slotDur time.Duration
+
+	// cur is the ring slot increments land in. Read lock-free by every
+	// instrument on every increment.
+	cur atomic.Uint32
+
+	mu       sync.Mutex
+	lastRot  time.Time
+	rotInit  bool
+	families map[string]*family
+	order    []string
+}
+
+// DefaultWindow is the rolling window of the package-global Default
+// registry.
+const DefaultWindow = 10 * time.Second
+
+// Default is the process-global registry the STM and the collections
+// instrument against.
+var Default = NewRegistry(DefaultWindow)
+
+// NewRegistry returns a registry whose windowed views cover roughly
+// the trailing window duration.
+func NewRegistry(window time.Duration) *Registry {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Registry{
+		window:   window,
+		slotDur:  window / windowSlots,
+		families: map[string]*family{},
+	}
+}
+
+// Window returns the configured rolling-window duration.
+func (r *Registry) Window() time.Duration { return r.window }
+
+// Advance rotates the window ring to account for wall time elapsed
+// since the previous call, clearing slots that have aged out. It is
+// called by the Monitor tick and by every scrape; extra calls are
+// cheap no-ops until a slot boundary passes.
+func (r *Registry) Advance(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.rotInit {
+		r.rotInit = true
+		r.lastRot = now
+		return
+	}
+	steps := int(now.Sub(r.lastRot) / r.slotDur)
+	if steps <= 0 {
+		return
+	}
+	if steps > windowSlots {
+		steps = windowSlots
+	}
+	cur := int(r.cur.Load())
+	for i := 0; i < steps; i++ {
+		cur = (cur + 1) % windowSlots
+		for _, name := range r.order {
+			f := r.families[name]
+			for _, k := range f.order {
+				f.metrics[k].rotate(cur)
+			}
+		}
+		// Publish after clearing so concurrent increments never land in
+		// a slot that is about to be zeroed wholesale.
+		r.cur.Store(uint32(cur))
+	}
+	r.lastRot = r.lastRot.Add(time.Duration(steps) * r.slotDur)
+	if now.Sub(r.lastRot) >= r.slotDur {
+		// Fell far behind (all slots aged out); resynchronize.
+		r.lastRot = now
+	}
+}
+
+// getOrCreate returns the instrument for name+labels, creating family
+// and instrument on first use. Panics if name is reused with a
+// different type (a registration bug, not a runtime condition).
+func (r *Registry) getOrCreate(name, help, typ string, labels []Label, mk func() instrument) instrument {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, metrics: map[string]instrument{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		sort.Strings(r.order)
+	}
+	if f.typ != typ {
+		panic("metrics: " + name + " registered as " + f.typ + ", requested as " + typ)
+	}
+	k := labelKey(labels)
+	if m, ok := f.metrics[k]; ok {
+		return m
+	}
+	m := mk()
+	f.metrics[k] = m
+	f.order = append(f.order, k)
+	sort.Strings(f.order)
+	return m
+}
+
+// counterLane is one cache-line-padded shard of a Counter.
+type counterLane struct {
+	total atomic.Uint64
+	ring  [windowSlots]atomic.Uint64
+	_     [7]uint64 // pad to 128 bytes so lanes do not false-share
+}
+
+// Counter is a monotonically increasing counter with a cumulative
+// total and a rolling-window view. The default counter has one lane;
+// hot process-global counters use CounterSharded so concurrent
+// threads touch distinct cache lines.
+type Counter struct {
+	reg    *Registry
+	labels []Label
+	lanes  []counterLane
+}
+
+// Counter returns the (single-lane) counter for name+labels,
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.CounterSharded(name, help, 1, labels...)
+}
+
+// CounterSharded is Counter with lanes internal shards. Use for hot
+// global counters; per-collection counters should stay single-lane
+// (compactness beats contention for per-stripe instruments).
+func (r *Registry) CounterSharded(name, help string, lanes int, labels ...Label) *Counter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	m := r.getOrCreate(name, help, "counter", labels, func() instrument {
+		return &Counter{reg: r, labels: labels, lanes: make([]counterLane, lanes)}
+	})
+	return m.(*Counter)
+}
+
+// Add adds n on lane 0. Atomic-only; safe inside commit-guard hold
+// windows.
+func (c *Counter) Add(n uint64) { c.AddLane(0, n) }
+
+// Inc adds 1 on lane 0.
+func (c *Counter) Inc() { c.AddLane(0, 1) }
+
+// AddLane adds n on the given shard lane (callers pass their CPU /
+// worker index; any int is safe). Cost: one atomic load (ring slot)
+// plus two atomic adds. Never allocates.
+func (c *Counter) AddLane(lane int, n uint64) {
+	l := &c.lanes[uint(lane)%uint(len(c.lanes))]
+	l.total.Add(n)
+	l.ring[c.reg.cur.Load()].Add(n)
+}
+
+// Total returns the cumulative count.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for i := range c.lanes {
+		t += c.lanes[i].total.Load()
+	}
+	return t
+}
+
+// Windowed returns the count accumulated over the live window slots.
+func (c *Counter) Windowed() uint64 {
+	var t uint64
+	for i := range c.lanes {
+		for s := 0; s < windowSlots; s++ {
+			t += c.lanes[i].ring[s].Load()
+		}
+	}
+	return t
+}
+
+func (c *Counter) rotate(slot int) {
+	for i := range c.lanes {
+		c.lanes[i].ring[slot].Store(0)
+	}
+}
+
+func (c *Counter) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: c.labels, Value: float64(c.Total()), Windowed: c.Windowed()}
+}
+
+// Gauge is a settable instantaneous value (float64, stored as bits
+// in one atomic word — gauges are not hot-path instruments).
+type Gauge struct {
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.getOrCreate(name, help, "gauge", labels, func() instrument {
+		return &Gauge{labels: labels}
+	})
+	return m.(*Gauge)
+}
+
+// Set stores v. Atomic-only.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) rotate(int) {}
+
+func (g *Gauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: g.labels, Value: g.Value()}
+}
+
+// gaugeFunc samples a callback at snapshot time.
+type gaugeFunc struct {
+	labels []Label
+	fn     func() float64
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// snapshot time (e.g. the STM global clock).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.getOrCreate(name, help, "gauge", labels, func() instrument {
+		return &gaugeFunc{labels: labels, fn: fn}
+	})
+}
+
+func (g *gaugeFunc) rotate(int) {}
+
+func (g *gaugeFunc) snapshot() MetricSnapshot {
+	return MetricSnapshot{Labels: g.labels, Value: g.fn()}
+}
+
+// MetricSnapshot is one metric's rendered state.
+type MetricSnapshot struct {
+	Labels   []Label          `json:"labels,omitempty"`
+	Value    float64          `json:"value"`
+	Windowed uint64           `json:"windowed,omitempty"`
+	Summary  *SummarySnapshot `json:"summary,omitempty"`
+}
+
+// FamilySnapshot is one family's rendered state.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help"`
+	Type    string           `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Gather renders every family, sorted by name (and by label set
+// within a family), for the exposition endpoints.
+func (r *Registry) Gather() []FamilySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		for _, k := range f.order {
+			fs.Metrics = append(fs.Metrics, f.metrics[k].snapshot())
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"log"
+	"time"
+
+	"tcc/internal/thread"
+)
+
+// MonitorConfig tunes the background monitor's cadence and alert
+// thresholds. The zero value gets sensible defaults from NewMonitor.
+type MonitorConfig struct {
+	// Interval between samples (default 1s).
+	Interval time.Duration
+	// AbortRateThreshold raises the abort-rate alert when
+	// windowed (aborts+violations) / (commits+aborts+violations)
+	// exceeds it (default 0.5).
+	AbortRateThreshold float64
+	// MinWindowTx suppresses the abort-rate alert until the window
+	// holds at least this many finished transactions, so idle or
+	// just-started processes do not flap (default 100).
+	MinWindowTx uint64
+	// GuardWaitThreshold raises the guard-wait alert when the
+	// trailing-window commit-guard blocking time exceeds it
+	// (default 100ms per window).
+	GuardWaitThreshold time.Duration
+	// Logger receives alert transitions (RAISED/cleared) and thread
+	// lifecycle messages. Nil drops them.
+	Logger *log.Logger
+}
+
+// Monitor is the background metrics thread: every Interval it
+// advances the registry window, recomputes the windowed abort rate
+// and guard-wait totals, publishes them as gauges
+// (tcc_monitor_abort_rate, tcc_monitor_alert{alert=...}), and logs
+// alert transitions. Built on the internal/thread periodic-thread
+// idiom; Start/Stop are cheap and idempotent.
+type Monitor struct {
+	reg *Registry
+	cfg MonitorConfig
+	th  *thread.Thread
+
+	gRate       *Gauge
+	gAbortAl    *Gauge
+	gGuardAl    *Gauge
+	abortRaised bool
+	guardRaised bool
+}
+
+// NewMonitor returns an unstarted monitor over r.
+func NewMonitor(r *Registry, cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.AbortRateThreshold <= 0 {
+		cfg.AbortRateThreshold = 0.5
+	}
+	if cfg.MinWindowTx == 0 {
+		cfg.MinWindowTx = 100
+	}
+	if cfg.GuardWaitThreshold <= 0 {
+		cfg.GuardWaitThreshold = 100 * time.Millisecond
+	}
+	m := &Monitor{
+		reg:      r,
+		cfg:      cfg,
+		gRate:    r.Gauge(MonitorAbortRate, "Windowed abort rate: (aborts+violations)/(commits+aborts+violations) over the trailing window"),
+		gAbortAl: r.Gauge(MonitorAlert, "Monitor alert state: 1 raised, 0 clear", L("alert", "abort_rate")),
+		gGuardAl: r.Gauge(MonitorAlert, "Monitor alert state: 1 raised, 0 clear", L("alert", "guard_wait")),
+	}
+	m.th = thread.New(cfg.Logger, "metrics-monitor", cfg.Interval, m.Tick)
+	return m
+}
+
+// Start launches the periodic sampling thread.
+func (m *Monitor) Start() { m.th.Start() }
+
+// Stop halts it, blocking until the in-flight tick (if any) is done.
+func (m *Monitor) Stop() { m.th.Stop() }
+
+// windowedStm sums the trailing-window view of the STM families the
+// monitor and the profile exporter alert on.
+func windowedStm(r *Registry) (commits, aborts, gwaitNs uint64) {
+	for _, f := range r.Gather() {
+		var sum uint64
+		for _, mt := range f.Metrics {
+			sum += mt.Windowed
+		}
+		switch f.Name {
+		// StmSnapshotCommits is a subset of StmCommits; adding it here
+		// would double-count snapshot commits.
+		case StmCommits:
+			commits += sum
+		case StmAborts, StmViolations, StmUserAborts:
+			aborts += sum
+		case StmGuardWaitNs:
+			gwaitNs += sum
+		}
+	}
+	return commits, aborts, gwaitNs
+}
+
+// WindowedAbortRate reports the trailing-window abort rate of r —
+// (aborts+violations+user aborts) / all finished transactions — and
+// the number of finished transactions the window holds. Rate is 0
+// when the window is empty.
+func WindowedAbortRate(r *Registry) (rate float64, total uint64) {
+	commits, aborts, _ := windowedStm(r)
+	total = commits + aborts
+	if total > 0 {
+		rate = float64(aborts) / float64(total)
+	}
+	return rate, total
+}
+
+// Tick runs one sampling pass. Exported so tests (and one-shot
+// callers) can drive the monitor without the goroutine.
+func (m *Monitor) Tick() {
+	m.reg.Advance(time.Now())
+
+	commits, aborts, gwaitNs := windowedStm(m.reg)
+	total := commits + aborts
+	rate := 0.0
+	if total > 0 {
+		rate = float64(aborts) / float64(total)
+	}
+	m.gRate.Set(rate)
+
+	abortHot := total >= m.cfg.MinWindowTx && rate > m.cfg.AbortRateThreshold
+	m.transition(&m.abortRaised, abortHot, m.gAbortAl,
+		"abort-rate alert", "windowed rate %.3f (threshold %.3f, %d tx in window)",
+		rate, m.cfg.AbortRateThreshold, total)
+
+	guardHot := gwaitNs > uint64(m.cfg.GuardWaitThreshold.Nanoseconds())
+	m.transition(&m.guardRaised, guardHot, m.gGuardAl,
+		"guard-wait alert", "windowed guard wait %v (threshold %v)",
+		time.Duration(gwaitNs), m.cfg.GuardWaitThreshold)
+}
+
+func (m *Monitor) transition(raised *bool, hot bool, g *Gauge, name, format string, args ...any) {
+	if hot == *raised {
+		return
+	}
+	*raised = hot
+	if hot {
+		g.Set(1)
+		m.logf("metrics-monitor: %s RAISED: "+format, append([]any{name}, args...)...)
+	} else {
+		g.Set(0)
+		m.logf("metrics-monitor: %s cleared: "+format, append([]any{name}, args...)...)
+	}
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf(format, args...)
+	}
+}

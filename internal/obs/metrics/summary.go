@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// summaryBuckets is the number of power-of-two buckets per slot,
+// mirroring obs.HistBuckets: bucket i holds values v with
+// bits.Len64(v) == i, the last bucket is open-ended.
+const summaryBuckets = 40
+
+// summaryShards bounds cross-CPU contention inside one ring slot.
+// Smaller than obs's 16: a Summary carries windowSlots copies, so
+// memory scales as slots × shards × buckets.
+const summaryShards = 4
+
+type summaryShard struct {
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	bucket [summaryBuckets]atomic.Uint64
+	_      [6]uint64 // pad shards apart
+}
+
+type summarySlot struct {
+	shards [summaryShards]summaryShard
+}
+
+// Summary is a time-windowed log-bucketed histogram: observations
+// land in the current ring slot, rotation clears aged slots, and
+// quantiles are computed over the merged live slots — so p50/p99/p999
+// reflect the last window, not process lifetime.
+type Summary struct {
+	reg    *Registry
+	labels []Label
+	slots  [windowSlots]summarySlot
+}
+
+// Summary returns the windowed summary for name+labels, creating it
+// on first use.
+func (r *Registry) Summary(name, help string, labels ...Label) *Summary {
+	m := r.getOrCreate(name, help, "summary", labels, func() instrument {
+		return &Summary{reg: r, labels: labels}
+	})
+	return m.(*Summary)
+}
+
+func summaryBucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= summaryBuckets {
+		return summaryBuckets - 1
+	}
+	return b
+}
+
+// Observe records v on the given shard lane of the current window
+// slot. Atomic-only, never allocates; safe for concurrent use.
+func (s *Summary) Observe(lane int, v uint64) {
+	slot := &s.slots[s.reg.cur.Load()%windowSlots]
+	sh := &slot.shards[uint(lane)%summaryShards]
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	sh.bucket[summaryBucketOf(v)].Add(1)
+}
+
+func (s *Summary) rotate(slot int) {
+	sl := &s.slots[slot]
+	for i := range sl.shards {
+		sh := &sl.shards[i]
+		sh.count.Store(0)
+		sh.sum.Store(0)
+		for b := range sh.bucket {
+			sh.bucket[b].Store(0)
+		}
+	}
+}
+
+// SummarySnapshot is the merged windowed view of a Summary.
+type SummarySnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	P50   uint64 `json:"p50"`
+	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
+}
+
+func summaryBucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i == 0:
+		return 0, 0
+	case i == summaryBuckets-1:
+		return 1 << (i - 1), ^uint64(0)
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// Snapshot merges every live slot and shard. It may run concurrently
+// with Observe; the result is a consistent-enough view for scraping.
+func (s *Summary) Snapshot() SummarySnapshot {
+	var merged [summaryBuckets]uint64
+	var snap SummarySnapshot
+	for si := range s.slots {
+		for hi := range s.slots[si].shards {
+			sh := &s.slots[si].shards[hi]
+			snap.Count += sh.count.Load()
+			snap.Sum += sh.sum.Load()
+			for b := range sh.bucket {
+				merged[b] += sh.bucket[b].Load()
+			}
+		}
+	}
+	snap.P50 = quantileOf(merged[:], snap.Count, 0.50)
+	snap.P99 = quantileOf(merged[:], snap.Count, 0.99)
+	snap.P999 = quantileOf(merged[:], snap.Count, 0.999)
+	return snap
+}
+
+// quantileOf returns the inclusive upper edge of the bucket holding
+// the q-th of count values (0 if empty), matching obs.HistSnapshot's
+// quantile convention.
+func quantileOf(buckets []uint64, count uint64, q float64) uint64 {
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(count-1))
+	var seen uint64
+	last := uint64(0)
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		seen += n
+		_, hi := summaryBucketBounds(i)
+		last = hi
+		if rank < seen {
+			return hi
+		}
+	}
+	return last
+}
+
+func (s *Summary) snapshot() MetricSnapshot {
+	sn := s.Snapshot()
+	return MetricSnapshot{Labels: s.labels, Summary: &sn}
+}

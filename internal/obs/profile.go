@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"tcc/internal/obs/metrics"
 )
 
 // Profile is a Tracer that aggregates events into the TAPE-style
@@ -169,9 +171,16 @@ type ProfileReport struct {
 	BackoffCycles   uint64       `json:"backoff_cycles,omitempty"`
 	GuardWaits      uint64       `json:"guard_waits,omitempty"`
 	LostCycles      uint64       `json:"lost_cycles"`
-	Hotspots        []Hotspot    `json:"hotspots,omitempty"`
-	Latency         HistSnapshot `json:"latency"`
-	Retries         HistSnapshot `json:"retries"`
+	// AbortRate is (aborts+violations+user aborts) over all finished
+	// transactions in this profile.
+	AbortRate float64 `json:"abort_rate"`
+	// WindowedAbortRate is the live metrics plane's trailing-window
+	// abort rate, sampled at Report time when metrics are enabled
+	// (0 and omitted otherwise).
+	WindowedAbortRate float64      `json:"windowed_abort_rate,omitempty"`
+	Hotspots          []Hotspot    `json:"hotspots,omitempty"`
+	Latency           HistSnapshot `json:"latency"`
+	Retries           HistSnapshot `json:"retries"`
 }
 
 // Report snapshots the profile. Hotspots are sorted hottest-first
@@ -193,6 +202,14 @@ func (p *Profile) Report() *ProfileReport {
 		LostCycles:      p.lostCycles.Load(),
 		Latency:         p.latency.Snapshot(),
 		Retries:         p.retries.Snapshot(),
+	}
+	if rolled := r.Aborts + r.Violations + r.UserAborts; r.Commits+rolled > 0 {
+		r.AbortRate = float64(rolled) / float64(r.Commits+rolled)
+	}
+	if metrics.On() {
+		if rate, total := metrics.WindowedAbortRate(metrics.Default); total > 0 {
+			r.WindowedAbortRate = rate
+		}
 	}
 	p.mu.Lock()
 	var total uint64

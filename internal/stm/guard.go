@@ -114,15 +114,20 @@ func sortGuards(buf []*Guard) []*Guard {
 
 // acquireGuards locks every guard in gs, which must be sorted by id
 // (deadlock freedom). The TryLock probe is only contention detection
-// for the guard-wait event: attribution is recorded with plain field
-// stores here and emitted after the guards are released.
+// for the guard-wait event and metric: attribution is recorded with
+// plain field stores here (including the wall-clock blocking time
+// when metrics are enabled) and emitted after the guards are
+// released.
 func acquireGuards(tx *Tx, gs []*Guard) {
+	top := tx.top()
 	for _, g := range gs {
 		if g.mu.TryLock() {
 			continue
 		}
 		tx.noteGuardWait(g)
+		t0 := guardWaitStart(top)
 		g.mu.Lock()
+		guardWaitDone(top, t0)
 	}
 }
 

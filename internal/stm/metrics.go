@@ -1,0 +1,159 @@
+package stm
+
+import (
+	"time"
+
+	"tcc/internal/obs/metrics"
+)
+
+// This file is the STM side of the live metrics plane (see
+// internal/obs/metrics): counters, the windowed commit-latency
+// summary, and the guard-wait clock, all registered against
+// metrics.Default under the canonical names in metrics/names.go.
+//
+// Discipline mirrors trace.go: the hot path pays one metrics.On()
+// load per top-level attempt (captured into tx.mon alongside
+// tx.tracer); every increment site branches on that plain bool and
+// performs atomic-only counter adds. Counting happens in the retry
+// loop after guards and lockwords are released — the only in-window
+// work is the plain field store of guard-wait nanoseconds in
+// acquireGuards, matching the noteConflict/noteGuardWait pattern.
+
+var (
+	mCommits = metrics.Default.CounterSharded(metrics.StmCommits,
+		"Committed top-level transactions (includes snapshot-path commits)", 8)
+	mRetries = metrics.Default.CounterSharded(metrics.StmRetries,
+		"Top-level attempt restarts (memory aborts + violations)", 8)
+	mViolations = metrics.Default.CounterSharded(metrics.StmViolations,
+		"Top-level rollbacks from program-directed (semantic) aborts", 8)
+	mUserAborts = metrics.Default.Counter(metrics.StmUserAborts,
+		"Rollbacks requested by the transaction body")
+	mNestedRetries = metrics.Default.Counter(metrics.StmNestedRetries,
+		"Partial rollbacks of closed-nested levels")
+	mOpenCommits = metrics.Default.CounterSharded(metrics.StmOpenCommits,
+		"Open-nested child commits", 8)
+	mOpenRetries = metrics.Default.Counter(metrics.StmOpenRetries,
+		"Open-nested child conflict retries")
+	mSnapCommits = metrics.Default.CounterSharded(metrics.StmSnapshotCommits,
+		"Top-level commits completed on the MVCC-lite snapshot path", 8)
+	mSnapFallbacks = metrics.Default.Counter(metrics.StmSnapshotFallbacks,
+		"Read-only transactions that left the snapshot path for the retry path")
+	mGuardWaits = metrics.Default.Counter(metrics.StmGuardWaits,
+		"Contended commit-guard acquisitions (commit-serialization lost work)")
+	mGuardWaitNs = metrics.Default.Counter(metrics.StmGuardWaitNs,
+		"Wall nanoseconds spent blocked acquiring commit guards")
+	mTxLatency = metrics.Default.Summary(metrics.StmTxLatency,
+		"Top-level commit latency in thread-clock cycles, first attempt to commit (windowed)")
+
+	// Aborts by mechanical cause: the fixed cause vocabulary of
+	// trace.go, pre-registered so counting an abort never touches the
+	// registry (and never allocates).
+	mAbortStale       = abortCounter(causeStaleRead)
+	mAbortLocked      = abortCounter(causeLockedVar)
+	mAbortCommitLock  = abortCounter(causeCommitLock)
+	mAbortCommitStale = abortCounter(causeCommitStale)
+	mAbortOther       = abortCounter("other")
+)
+
+func abortCounter(cause string) *metrics.Counter {
+	return metrics.Default.CounterSharded(metrics.StmAborts,
+		"Top-level rollbacks from memory-level conflicts, by mechanical cause", 8,
+		metrics.L("cause", cause))
+}
+
+func init() {
+	metrics.Default.GaugeFunc(metrics.StmClock,
+		"TL2 global version clock (slope = system-wide write-commit rate)",
+		func() float64 { return float64(globalClock.Load()) })
+}
+
+// metricsOn is the per-attempt gate: one atomic load, captured into
+// tx.mon next to tx.tracer.
+func metricsOn() bool { return metrics.On() }
+
+// countCommit records a committed top-level transaction and its
+// whole-transaction latency (cycles since the first attempt began).
+// Emission site: after guards and lockwords are released.
+func (tx *Tx) countCommit(snapshot bool) {
+	if !tx.mon {
+		return
+	}
+	lane := tx.thread.TraceID
+	mCommits.AddLane(lane, 1)
+	if snapshot {
+		mSnapCommits.AddLane(lane, 1)
+	}
+	mTxLatency.Observe(lane, since(tx.thread.Clock.Now(), tx.firstBirth))
+}
+
+// countAbort records a memory-conflict rollback under its mechanical
+// cause (recorded by noteConflict; "other" when no attribution was
+// captured). When no tracer is active the conflict record is consumed
+// here, so a stale cause cannot leak into the next attempt.
+func (tx *Tx) countAbort() {
+	if !tx.mon {
+		return
+	}
+	top := tx.top()
+	cause := top.conflict.cause
+	if top.tracer == nil {
+		top.conflict = conflictRec{}
+	}
+	lane := tx.thread.TraceID
+	switch cause {
+	case causeStaleRead:
+		mAbortStale.AddLane(lane, 1)
+	case causeLockedVar:
+		mAbortLocked.AddLane(lane, 1)
+	case causeCommitLock:
+		mAbortCommitLock.AddLane(lane, 1)
+	case causeCommitStale:
+		mAbortCommitStale.AddLane(lane, 1)
+	default:
+		mAbortOther.AddLane(lane, 1)
+	}
+}
+
+// countGuardWaits flushes guard-contention metrics accumulated by
+// acquireGuards. Called after releaseGuards, before emitGuardWaits
+// (which consumes the shared gwaits field for the tracer); when no
+// tracer is active it clears the attribution itself.
+func (tx *Tx) countGuardWaits() {
+	top := tx.top()
+	if !top.mon {
+		return
+	}
+	lane := tx.thread.TraceID
+	if top.gwaits > 0 {
+		mGuardWaits.AddLane(lane, uint64(top.gwaits))
+	}
+	if top.gwaitNs > 0 {
+		mGuardWaitNs.AddLane(lane, top.gwaitNs)
+		top.gwaitNs = 0
+	}
+	if top.tracer == nil {
+		top.gwaits = 0
+		top.gwaitOn = nil
+	}
+}
+
+// guardWaitStart/guardWaitDone bracket a blocking guard acquisition
+// when metrics are enabled. Wall time, not Clock time: RealClock.Now
+// counts only charged cycles and the simulator's clock does not
+// advance while a host mutex blocks, so the serialization cost is
+// only visible to the wall clock. The result is accumulated with a
+// plain field store (safe inside the acquisition sequence) and
+// flushed by countGuardWaits after the guards are released.
+func guardWaitStart(top *Tx) time.Time {
+	if !top.mon {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func guardWaitDone(top *Tx, t0 time.Time) {
+	if !top.mon {
+		return
+	}
+	top.gwaitNs += uint64(time.Since(t0))
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tcc/internal/obs"
+	"tcc/internal/obs/metrics"
 	"tcc/internal/stm"
 )
 
@@ -400,5 +401,125 @@ func TestSmallWriteAllocationGuardrail(t *testing.T) {
 	// 1 Handle + 4 Set boxings + 4 install boxes = 9.
 	if got := testing.AllocsPerRun(1000, run); got > 9 {
 		t.Fatalf("4-var write transaction allocates %.1f objects/run, budget is 9", got)
+	}
+}
+
+// TestMetricsOnWriteAllocationGuardrail proves metric increments are
+// allocation-free on the commit path: with the live metrics plane
+// enabled, the 4-var write transaction stays inside the same 9-object
+// budget as with metrics off — counting is a per-attempt bool capture,
+// field stores, and atomic adds into pre-registered instruments.
+func TestMetricsOnWriteAllocationGuardrail(t *testing.T) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	if obs.Active() != nil {
+		t.Fatal("guardrail requires tracing disabled")
+	}
+	metrics.SetEnabled(true)
+	defer metrics.SetEnabled(false)
+	run := func() {
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Set(tx, v.Get(tx)+1)
+			}
+			return nil
+		})
+	}
+	run()
+	if got := testing.AllocsPerRun(1000, run); got > 9 {
+		t.Fatalf("with metrics on, 4-var write transaction allocates %.1f objects/run, budget is 9", got)
+	}
+}
+
+// TestMetricsOnSnapshotAllocationGuardrail pins the strictest case:
+// the snapshot read path's budget is zero, and enabling metrics —
+// which adds a commit count, a snapshot-commit count, and a latency
+// observation per transaction — must keep it at zero.
+func TestMetricsOnSnapshotAllocationGuardrail(t *testing.T) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	if obs.Active() != nil {
+		t.Fatal("guardrail requires tracing disabled")
+	}
+	metrics.SetEnabled(true)
+	defer metrics.SetEnabled(false)
+	run := func() {
+		_ = th.AtomicRead(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
+	}
+	run()
+	if got := testing.AllocsPerRun(100, run); got > 0 {
+		t.Fatalf("with metrics on, snapshot read-only transaction allocates %.1f objects/run, budget is 0", got)
+	}
+	if th.Stats.SnapshotFallbacks != 0 {
+		t.Fatalf("guardrail runs fell back %d times", th.Stats.SnapshotFallbacks)
+	}
+}
+
+// TestMetricsDisableRestoresFastPath mirrors the tracer's guarantee in
+// the other direction: after enabling and disabling the metrics plane,
+// the read-only path is back inside its untraced budget and the
+// registry actually saw the enabled-phase commits.
+func TestMetricsDisableRestoresFastPath(t *testing.T) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	run := func() {
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Get(tx)
+			}
+			return nil
+		})
+	}
+	commits := metrics.Default.Counter(metrics.StmCommits, "Committed top-level transactions")
+	before := commits.Total()
+	metrics.SetEnabled(true)
+	for i := 0; i < 50; i++ {
+		run()
+	}
+	metrics.SetEnabled(false)
+	if commits.Total() < before+50 {
+		t.Fatalf("registry saw %d commits while enabled, want >= 50", commits.Total()-before)
+	}
+	run() // warm pools in the disabled regime
+	if got := testing.AllocsPerRun(100, run); got > 2 {
+		t.Fatalf("after disabling metrics, read-only transaction allocates %.1f objects/run, budget is 2", got)
+	}
+}
+
+// BenchmarkSTMSmallWriteSetMetricsOn is BenchmarkSTMSmallWriteSet with
+// the live metrics plane enabled, so BENCH_stm.json records the
+// enabled-vs-disabled delta of the commit-path counting (a handful of
+// atomic adds plus one windowed histogram observe per commit).
+func BenchmarkSTMSmallWriteSetMetricsOn(b *testing.B) {
+	var vars [4]*stm.Var[int]
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	th := newBenchThread()
+	metrics.SetEnabled(true)
+	defer metrics.SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			for _, v := range vars {
+				v.Set(tx, v.Get(tx)+1)
+			}
+			return nil
+		})
 	}
 }

@@ -164,6 +164,8 @@ func (t *Thread) putTx(tx *Tx) {
 	tx.conflict = conflictRec{}
 	tx.gwaits = 0
 	tx.gwaitOn = nil
+	tx.mon = false
+	tx.gwaitNs = 0
 	tx.snapshot = false
 	tx.fellBack = false
 	if tx.locals != nil {
@@ -268,6 +270,9 @@ func (t *Thread) AtomicRead(fn func(tx *Tx) error) error {
 		return err
 	}
 	t.Stats.SnapshotFallbacks++
+	if metricsOn() {
+		mSnapFallbacks.Add(1)
+	}
 	return t.retryLoop(fn)
 }
 
@@ -303,14 +308,15 @@ func (t *Thread) snapshotRead(fn func(tx *Tx) error) (error, bool) {
 			clear(tx.locals)
 		}
 		tx.tracer = obs.Active()
+		tx.mon = metricsOn()
+		if (tx.tracer != nil || tx.mon) && tx.firstBirth == 0 {
+			tx.firstBirth = h.birth
+		}
 		if tx.tracer != nil {
 			if tx.txid == 0 {
 				tx.txid = txIDs.Add(1)
 			}
 			h.txid = tx.txid
-			if tx.firstBirth == 0 {
-				tx.firstBirth = h.birth
-			}
 			e := tx.event(obs.KindTxBegin)
 			e.Snapshot = true
 			tx.tracer.Trace(e)
@@ -323,6 +329,7 @@ func (t *Thread) snapshotRead(fn func(tx *Tx) error) (error, bool) {
 			// is a pair of counters and a (cheaper) tick.
 			t.Stats.Commits++
 			t.Stats.SnapshotCommits++
+			tx.countCommit(true)
 			if tx.tracer != nil {
 				e := tx.event(obs.KindTxCommit)
 				e.Snapshot = true
@@ -337,11 +344,17 @@ func (t *Thread) snapshotRead(fn func(tx *Tx) error) (error, bool) {
 			// fn returned an error: nothing was buffered, nothing to
 			// compensate — report it without retrying, like Atomic.
 			t.Stats.UserAborts++
+			if tx.mon {
+				mUserAborts.Add(1)
+			}
 			tx.emitRollback(obs.KindTxUserAbort, "error return")
 			t.putTx(tx)
 			return err, true
 		case sig.kind == sigUserAbort:
 			t.Stats.UserAborts++
+			if tx.mon {
+				mUserAborts.Add(1)
+			}
 			tx.emitRollback(obs.KindTxUserAbort, sig.reason)
 			t.putTx(tx)
 			return sig.err, true
@@ -383,17 +396,21 @@ func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 			clear(tx.locals)
 		}
 		// One atomic load per attempt is the entire disabled-tracer
-		// cost (plus nil checks at the emission sites below).
+		// cost (plus nil checks at the emission sites below); the
+		// metrics plane pays the same way via tx.mon.
 		tx.tracer = obs.Active()
+		tx.mon = metricsOn()
+		if tx.tracer != nil || tx.mon {
+			if tx.firstBirth == 0 {
+				tx.firstBirth = tx.handle.birth
+			}
+			tx.conflict = conflictRec{}
+		}
 		if tx.tracer != nil {
 			if tx.txid == 0 {
 				tx.txid = txIDs.Add(1)
 			}
 			tx.handle.txid = tx.txid
-			if tx.firstBirth == 0 {
-				tx.firstBirth = tx.handle.birth
-			}
-			tx.conflict = conflictRec{}
 			tx.tracer.Trace(tx.event(obs.KindTxBegin))
 		}
 		err, sig := runTx(fn, tx)
@@ -410,6 +427,7 @@ func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 					// reads were invisible snapshot reads.
 					t.Stats.SnapshotCommits++
 				}
+				tx.countCommit(tx.snapshot)
 				if tx.tracer != nil {
 					e := tx.event(obs.KindTxCommit)
 					e.Snapshot = tx.snapshot
@@ -423,26 +441,39 @@ func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 			tx.rollback()
 			if reason := tx.handle.ViolationReason(); reason != "" {
 				t.Stats.countViolation(reason)
+				if tx.mon {
+					mViolations.AddLane(t.TraceID, 1)
+				}
 				tx.emitRollback(obs.KindTxViolated, reason)
 			} else {
 				t.Stats.Aborts++
+				tx.countAbort()
 				tx.emitRollback(obs.KindTxAbort, "")
 			}
 		case sig == nil && err != nil:
 			tx.rollback()
 			t.Stats.UserAborts++
+			if tx.mon {
+				mUserAborts.Add(1)
+			}
 			tx.emitRollback(obs.KindTxUserAbort, "error return")
 			t.putTx(tx)
 			return err
 		case sig.kind == sigUserAbort:
 			tx.rollback()
 			t.Stats.UserAborts++
+			if tx.mon {
+				mUserAborts.Add(1)
+			}
 			tx.emitRollback(obs.KindTxUserAbort, sig.reason)
 			t.putTx(tx)
 			return sig.err
 		case sig.kind == sigViolated:
 			tx.rollback()
 			t.Stats.countViolation(sig.reason)
+			if tx.mon {
+				mViolations.AddLane(t.TraceID, 1)
+			}
 			tx.emitRollback(obs.KindTxViolated, sig.reason)
 		case sig.kind == sigFallback:
 			// A SetReadOnly attempt turned out to write (or register
@@ -452,13 +483,20 @@ func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 			// runs any abort handlers registered before the switch.
 			tx.fellBack = true
 			t.Stats.SnapshotFallbacks++
+			if tx.mon {
+				mSnapFallbacks.Add(1)
+			}
 			tx.rollback()
 			t.releaseLevels(tx)
 			continue
 		default: // sigRetry
 			tx.rollback()
 			t.Stats.Aborts++
+			tx.countAbort()
 			tx.emitRollback(obs.KindTxAbort, "")
+		}
+		if tx.mon {
+			mRetries.AddLane(t.TraceID, 1)
 		}
 		t.releaseLevels(tx)
 		tx.backoffTraced(attempt)
@@ -509,6 +547,9 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 					tx.cur.abortGuards = addGuard(tx.cur.abortGuards, g)
 				}
 				t.Stats.OpenCommits++
+				if o.top().mon {
+					mOpenCommits.AddLane(t.TraceID, 1)
+				}
 				if tr := o.trc(); tr != nil {
 					e := o.event(obs.KindOpenCommit)
 					e.Writes = o.cur.writes.len()
@@ -519,12 +560,18 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 				return nil
 			}
 			t.Stats.OpenRetries++
+			if o.top().mon {
+				mOpenRetries.Add(1)
+			}
 			o.emitOpenRetry()
 		case sig == nil && err != nil:
 			t.putTx(o)
 			return err
 		case sig.kind == sigRetry:
 			t.Stats.OpenRetries++
+			if o.top().mon {
+				mOpenRetries.Add(1)
+			}
 			o.emitOpenRetry()
 		default:
 			// Violation or user abort of the enclosing transaction.

@@ -46,7 +46,7 @@ type conflictRec struct {
 // Safe under the commit guard: field stores only.
 func (tx *Tx) noteConflict(c *varCore, owner *Handle, cause string) {
 	top := tx.top()
-	if top.tracer == nil {
+	if top.tracer == nil && !top.mon {
 		return
 	}
 	rec := conflictRec{c: c, cause: cause}
@@ -116,7 +116,7 @@ func (tx *Tx) emitRollback(kind obs.Kind, reason string) {
 // tracer call.
 func (tx *Tx) noteGuardWait(g *Guard) {
 	top := tx.top()
-	if top.tracer == nil {
+	if top.tracer == nil && !top.mon {
 		return
 	}
 	top.gwaits++

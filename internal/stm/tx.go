@@ -317,6 +317,13 @@ type Tx struct {
 	txid       uint64
 	firstBirth uint64
 	conflict   conflictRec
+	// mon mirrors tracer for the metrics plane: metrics.On() sampled
+	// once at the start of the attempt (the entire disabled-metrics
+	// cost), branched on as a plain bool at every counting site.
+	// gwaitNs accumulates wall nanoseconds blocked in acquireGuards,
+	// flushed by countGuardWaits after the guards are released.
+	mon     bool
+	gwaitNs uint64
 	// gwaits / gwaitOn record commit-guard contention observed by the
 	// TryLock probe in acquireGuards: the number of guards this commit
 	// or rollback blocked on and the last such guard. Plain field
@@ -585,6 +592,9 @@ func (tx *Tx) Nested(fn func() error) error {
 			child.runAbortHandlers()
 			t.putLevel(child)
 			tx.thread.Stats.NestedRetries++
+			if tx.top().mon {
+				mNestedRetries.Add(1)
+			}
 			if tr := tx.trc(); tr != nil {
 				e := tx.event(obs.KindNestedRetry)
 				e.Where, e.OtherTx, e.Reason = tx.takeConflict()
@@ -702,6 +712,7 @@ func (tx *Tx) commit() bool {
 	acquireGuards(tx, gs)
 	ok := tx.commitGuarded(l)
 	releaseGuards(gs)
+	tx.countGuardWaits()
 	tx.emitGuardWaits()
 	if ok {
 		tx.tick(CostCommitBase + CostCommitPerWrite*uint64(l.writes.len()))
@@ -841,6 +852,7 @@ func (tx *Tx) rollback() {
 		l.runAbortHandlers()
 	}
 	releaseGuards(gs)
+	tx.countGuardWaits()
 	tx.emitGuardWaits()
 	tx.tick(CostAbort)
 	t.flushDeferred()

@@ -1,0 +1,79 @@
+// Package thread provides a small periodic background thread: a
+// named goroutine that runs a function at a fixed interval until
+// stopped, after the pkg/thread idiom in openshift/assisted-service
+// (SNIPPETS.md) — construct with a logger, name, interval and
+// function; Start launches it, Stop blocks until the loop has fully
+// exited so callers can tear down shared state safely afterwards.
+package thread
+
+import (
+	"log"
+	"time"
+)
+
+// Thread runs fn every interval on its own goroutine.
+type Thread struct {
+	log      *log.Logger
+	name     string
+	interval time.Duration
+	fn       func()
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New returns an unstarted periodic thread. logger may be nil
+// (lifecycle messages are dropped); interval must be positive.
+func New(logger *log.Logger, name string, interval time.Duration, fn func()) *Thread {
+	if interval <= 0 {
+		panic("thread: non-positive interval")
+	}
+	return &Thread{log: logger, name: name, interval: interval, fn: fn}
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Start launches the periodic loop. Calling Start on a running
+// thread is a no-op; a stopped thread can be started again.
+func (t *Thread) Start() {
+	if t.stop != nil {
+		return
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	t.logf("thread %s: started (interval %v)", t.name, t.interval)
+	go t.run(t.stop, t.done)
+}
+
+// Stop halts the loop and blocks until it has exited. A tick in
+// flight completes first. No-op if not running.
+func (t *Thread) Stop() {
+	if t.stop == nil {
+		return
+	}
+	close(t.stop)
+	<-t.done
+	t.stop, t.done = nil, nil
+	t.logf("thread %s: stopped", t.name)
+}
+
+func (t *Thread) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			t.fn()
+		}
+	}
+}
+
+func (t *Thread) logf(format string, args ...any) {
+	if t.log != nil {
+		t.log.Printf(format, args...)
+	}
+}

@@ -1,0 +1,95 @@
+package thread
+
+import (
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestThreadRunsPeriodically(t *testing.T) {
+	var ticks atomic.Int64
+	th := New(nil, "test", time.Millisecond, func() { ticks.Add(1) })
+	th.Start()
+	deadline := time.Now().Add(time.Second)
+	for ticks.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	th.Stop()
+	if got := ticks.Load(); got < 3 {
+		t.Fatalf("ticks = %d, want >= 3", got)
+	}
+}
+
+func TestThreadStopBlocksUntilTickDone(t *testing.T) {
+	var inFlight, raced atomic.Bool
+	th := New(nil, "test", time.Millisecond, func() {
+		inFlight.Store(true)
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Store(false)
+	})
+	th.Start()
+	time.Sleep(2 * time.Millisecond) // let a tick start
+	th.Stop()
+	if inFlight.Load() {
+		raced.Store(true)
+	}
+	if raced.Load() {
+		t.Fatalf("Stop returned while fn was still running")
+	}
+}
+
+func TestThreadStopIdempotentAndRestartable(t *testing.T) {
+	var ticks atomic.Int64
+	th := New(nil, "test", time.Millisecond, func() { ticks.Add(1) })
+	th.Stop() // never started: no-op
+	th.Start()
+	th.Start() // already running: no-op
+	time.Sleep(5 * time.Millisecond)
+	th.Stop()
+	th.Stop() // already stopped: no-op
+	n := ticks.Load()
+	th.Start()
+	deadline := time.Now().Add(time.Second)
+	for ticks.Load() == n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	th.Stop()
+	if ticks.Load() == n {
+		t.Fatalf("restarted thread never ticked")
+	}
+}
+
+func TestThreadLogsLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	logger := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}), "", 0)
+	th := New(logger, "worker", time.Hour, func() {})
+	th.Start()
+	th.Stop()
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "thread worker: started") || !strings.Contains(out, "thread worker: stopped") {
+		t.Fatalf("lifecycle not logged:\n%s", out)
+	}
+}
+
+func TestThreadPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New with zero interval did not panic")
+		}
+	}()
+	New(nil, "bad", 0, func() {})
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -62,6 +62,34 @@ go run ./cmd/tccbench -fig 1 -ops 512 -cpus 8 -profile \
   -stats-json "$obsdir/stats.json" -trace "$obsdir/trace.json" >/dev/null
 go run ./cmd/tracecheck -stats "$obsdir/stats.json" -trace "$obsdir/trace.json"
 
+echo "== metrics smoke (live /metrics endpoint, scraped and validated)"
+# tccbench -metrics-addr binds an ephemeral port, prints the endpoint
+# URL on its first stdout line, runs a sustained workload for the
+# -run-for duration, and exits 0 on clean shutdown. tracecheck's
+# -prom-url parser validates the scrape (format + required families).
+go run ./cmd/tccbench -metrics-addr 127.0.0.1:0 -run-for 4s -workers 4 \
+  > "$obsdir/metrics.out" 2> "$obsdir/metrics.err" &
+bench_pid=$!
+metrics_url=""
+for _ in $(seq 1 50); do
+  metrics_url=$(head -n 1 "$obsdir/metrics.out" 2>/dev/null | sed -n 's/^metrics: //p')
+  [[ -n "$metrics_url" ]] && break
+  sleep 0.2
+done
+if [[ -z "$metrics_url" ]]; then
+  echo "metrics smoke: tccbench never printed its endpoint" >&2
+  cat "$obsdir/metrics.err" >&2 || true
+  kill "$bench_pid" 2>/dev/null || true
+  exit 1
+fi
+sleep 1  # let the workload populate the window before scraping
+go run ./cmd/tracecheck -prom-url "$metrics_url"
+if ! wait "$bench_pid"; then
+  echo "metrics smoke: tccbench exited non-zero" >&2
+  cat "$obsdir/metrics.err" >&2 || true
+  exit 1
+fi
+
 if [[ "$mode" == "bench" ]]; then
   echo "== bench suite (scripts/bench.sh)"
   ./scripts/bench.sh
