@@ -1,0 +1,357 @@
+// Command stmsweep is a Synchrobench-style sweep driver for the STM's
+// pluggable concurrency-control protocols: it runs a key-value /
+// queue workload over the cross product
+//
+//	protocol × collection × update ratio × goroutine count
+//
+// on real goroutines and reports throughput and lost work per cell.
+//
+// Output has two faces:
+//
+//   - stdout: standard `go test -bench` result lines
+//     ("BenchmarkSweep/<collection>/u<update%>/g<goroutines>/<protocol>"
+//     with ns/op, ops/sec, aborts/op, and commits), so the output pipes
+//     straight into cmd/benchjson and merges into BENCH_stm.json — the
+//     same machine-readable convention every tracked bench uses.
+//   - stderr: an aligned text summary grouped by collection and mix,
+//     protocols side by side, for humans.
+//
+// Usage:
+//
+//	stmsweep                              # full default sweep
+//	stmsweep -smoke                       # tiny deterministic config (CI gate)
+//	stmsweep -protocols tl2,norec         # subset of stm.Protocols()
+//	stmsweep -collections striped,sorted  # striped | sorted | queue
+//	stmsweep -updates 10,50 -goroutines 2,4,8 -ops 20000 -keys 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"tcc/internal/harness"
+	"tcc/internal/stm"
+	"tcc/internal/stmcol"
+)
+
+// sweepConfig is the full cross product a run covers.
+type sweepConfig struct {
+	protocols   []string
+	collections []string
+	updates     []int // update percentage, 0-100
+	goroutines  []int
+	ops         int // operations per goroutine per cell
+	keys        int // key range; keys/2 pre-populated
+	seed        int64
+}
+
+// cellResult is one measured cell of the sweep.
+type cellResult struct {
+	collection string
+	update     int
+	goroutines int
+	protocol   string
+	totalOps   int
+	elapsedNs  float64
+	stats      stm.Stats
+}
+
+func (r cellResult) name() string {
+	return fmt.Sprintf("Sweep/%s/u%d/g%d/%s", r.collection, r.update, r.goroutines, r.protocol)
+}
+
+func (r cellResult) nsPerOp() float64 { return r.elapsedNs / float64(r.totalOps) }
+
+func (r cellResult) opsPerSec() float64 { return float64(r.totalOps) / (r.elapsedNs / 1e9) }
+
+func (r cellResult) abortsPerOp() float64 { return float64(r.stats.Aborts) / float64(r.totalOps) }
+
+func main() {
+	var (
+		protocolsFlag   = flag.String("protocols", strings.Join(stm.Protocols(), ","), "comma-separated protocols to sweep")
+		collectionsFlag = flag.String("collections", "striped,sorted,queue", "comma-separated collections (striped, sorted, queue)")
+		updatesFlag     = flag.String("updates", "10,50", "comma-separated update percentages")
+		goroutinesFlag  = flag.String("goroutines", "2,4,8", "comma-separated goroutine counts")
+		opsFlag         = flag.Int("ops", 20000, "operations per goroutine per cell")
+		keysFlag        = flag.Int("keys", 1024, "key range (half pre-populated)")
+		seedFlag        = flag.Int64("seed", 7, "deterministic workload seed")
+		smokeFlag       = flag.Bool("smoke", false, "tiny deterministic configuration for CI gates")
+	)
+	flag.Parse()
+
+	cfg := sweepConfig{
+		protocols:   splitList(*protocolsFlag),
+		collections: splitList(*collectionsFlag),
+		updates:     splitInts(*updatesFlag),
+		goroutines:  splitInts(*goroutinesFlag),
+		ops:         *opsFlag,
+		keys:        *keysFlag,
+		seed:        *seedFlag,
+	}
+	if *smokeFlag {
+		// The CI smoke cell: every protocol, two collection shapes, two
+		// mixes, two thread counts, 64 ops per goroutine — small enough
+		// for a gate, wide enough to exercise every seam method.
+		cfg.collections = []string{"striped", "queue"}
+		cfg.updates = []int{10, 50}
+		cfg.goroutines = []int{2, 4}
+		cfg.ops = 64
+		cfg.keys = 64
+	}
+	if err := validate(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "stmsweep:", err)
+		os.Exit(2)
+	}
+
+	results := runSweep(cfg)
+	writeBenchLines(os.Stdout, results)
+	writeSummary(os.Stderr, results)
+}
+
+func validate(cfg sweepConfig) error {
+	known := make(map[string]bool)
+	for _, p := range stm.Protocols() {
+		known[p] = true
+	}
+	for _, p := range cfg.protocols {
+		if !known[p] {
+			return fmt.Errorf("unknown protocol %q (have %s)", p, strings.Join(stm.Protocols(), ", "))
+		}
+	}
+	for _, c := range cfg.collections {
+		if c != "striped" && c != "sorted" && c != "queue" {
+			return fmt.Errorf("unknown collection %q (have striped, sorted, queue)", c)
+		}
+	}
+	if len(cfg.protocols) == 0 || len(cfg.collections) == 0 || len(cfg.updates) == 0 || len(cfg.goroutines) == 0 {
+		return fmt.Errorf("empty sweep dimension")
+	}
+	for _, u := range cfg.updates {
+		if u < 0 || u > 100 {
+			return fmt.Errorf("update percentage %d out of range", u)
+		}
+	}
+	return nil
+}
+
+// runSweep measures every cell of the cross product. Iteration order
+// keeps one collection+mix together across protocols so the summary
+// groups naturally and cache state is comparable within a group.
+func runSweep(cfg sweepConfig) []cellResult {
+	var results []cellResult
+	for _, coll := range cfg.collections {
+		for _, upd := range cfg.updates {
+			for _, g := range cfg.goroutines {
+				for _, proto := range cfg.protocols {
+					results = append(results, runCell(cfg, coll, upd, g, proto))
+				}
+			}
+		}
+	}
+	return results
+}
+
+// runCell measures one (collection, update%, goroutines, protocol)
+// cell on the real-goroutine platform.
+func runCell(cfg sweepConfig, coll string, upd, goroutines int, proto string) cellResult {
+	workload := newWorkload(coll, cfg)
+	plat := &harness.RealPlatform{Seed: cfg.seed, Protocol: proto}
+	res := plat.Run(goroutines, func(w *harness.Worker) {
+		for i := 0; i < cfg.ops; i++ {
+			if err := workload.op(w, upd); err != nil {
+				// The workload bodies never abort; an error here is a
+				// driver bug, not a measurement.
+				panic(err)
+			}
+		}
+	})
+	return cellResult{
+		collection: coll,
+		update:     upd,
+		goroutines: goroutines,
+		protocol:   proto,
+		totalOps:   goroutines * cfg.ops,
+		elapsedNs:  res.Elapsed,
+		stats:      res.Stats,
+	}
+}
+
+// workload is one collection under test: op runs a single transaction
+// that reads or updates it according to the update percentage and
+// returns the transaction's outcome.
+type workload struct {
+	op func(w *harness.Worker, updatePct int) error
+}
+
+// newWorkload builds and pre-populates the named collection.
+//
+//   - striped: SegmentedHashMap (per-stripe size fields and guards —
+//     the disjoint-key-friendly map), Get vs Put/Remove.
+//   - sorted: TreeMap (red-black tree; rotations near the root are the
+//     paper's conflict hot spot), Get vs Put/Remove.
+//   - queue: Queue; the "read" op is Peek+Size, the update alternates
+//     Enqueue/Dequeue so the queue stays near its initial length.
+func newWorkload(coll string, cfg sweepConfig) *workload {
+	pick := func(w *harness.Worker) int { return w.RNG.Intn(cfg.keys) }
+	isUpdate := func(w *harness.Worker, pct int) bool { return w.RNG.Intn(100) < pct }
+	switch coll {
+	case "striped":
+		m := stmcol.NewSegmentedHashMap[int, int](8)
+		seedMap(cfg, func(tx *stm.Tx, k int) { m.Put(tx, k, k) })
+		return &workload{op: func(w *harness.Worker, pct int) error {
+			k := pick(w)
+			return w.Thread.Atomic(func(tx *stm.Tx) error {
+				if !isUpdate(w, pct) {
+					m.Get(tx, k)
+				} else if k%2 == 0 {
+					m.Put(tx, k, k)
+				} else {
+					m.Remove(tx, k)
+				}
+				return nil
+			})
+		}}
+	case "sorted":
+		m := stmcol.NewTreeMap[int, int]().SetName("sweep-sorted")
+		seedMap(cfg, func(tx *stm.Tx, k int) { m.Put(tx, k, k) })
+		return &workload{op: func(w *harness.Worker, pct int) error {
+			k := pick(w)
+			return w.Thread.Atomic(func(tx *stm.Tx) error {
+				if !isUpdate(w, pct) {
+					m.Get(tx, k)
+				} else if k%2 == 0 {
+					m.Put(tx, k, k)
+				} else {
+					m.Remove(tx, k)
+				}
+				return nil
+			})
+		}}
+	case "queue":
+		q := stmcol.NewQueue[int]().SetName("sweep-queue")
+		seedMap(cfg, func(tx *stm.Tx, k int) { q.Enqueue(tx, k) })
+		return &workload{op: func(w *harness.Worker, pct int) error {
+			enq := pick(w)%2 == 0
+			return w.Thread.Atomic(func(tx *stm.Tx) error {
+				if !isUpdate(w, pct) {
+					q.Peek(tx)
+					q.Size(tx)
+				} else if enq {
+					q.Enqueue(tx, enq2int(enq))
+				} else {
+					q.Dequeue(tx)
+				}
+				return nil
+			})
+		}}
+	}
+	panic("unknown collection " + coll)
+}
+
+func enq2int(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// seedMap pre-populates a collection with keys/2 entries on a setup
+// thread, so read ops hit and the maps start above their resize
+// thresholds.
+func seedMap(cfg sweepConfig, put func(tx *stm.Tx, k int)) {
+	th := stm.NewThread(&stm.RealClock{}, cfg.seed)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for i := 0; i < cfg.keys/2; i++ {
+		k := rng.Intn(cfg.keys)
+		if err := th.Atomic(func(tx *stm.Tx) error {
+			put(tx, k)
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// writeBenchLines emits the results in `go test -bench` text format,
+// parseable by cmd/benchjson into the BENCH_stm.json convention.
+func writeBenchLines(out io.Writer, results []cellResult) {
+	fmt.Fprintf(out, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(out, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(out, "pkg: tcc/cmd/stmsweep\n")
+	for _, r := range results {
+		fmt.Fprintf(out, "Benchmark%s \t%8d\t%12.1f ns/op\t%14.0f ops/sec\t%8.4f aborts/op\n",
+			r.name(), r.totalOps, r.nsPerOp(), r.opsPerSec(), r.abortsPerOp())
+	}
+	fmt.Fprintln(out, "PASS")
+}
+
+// writeSummary renders the human-facing table: one row per
+// (collection, update%, goroutines, protocol) cell in sweep order,
+// with throughput and the lost-work columns that separate the
+// protocols' contention behavior.
+func writeSummary(out io.Writer, results []cellResult) {
+	fmt.Fprintf(out, "\nstmsweep: %d cells (%s)\n\n", len(results), cellSpace(results))
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "collection\tupdate%\tgoroutines\tprotocol\tops/sec\tns/op\taborts/op\tcommits\taborts")
+	prev := ""
+	for _, r := range results {
+		group := fmt.Sprintf("%s/u%d", r.collection, r.update)
+		if prev != "" && group != prev {
+			fmt.Fprintln(tw, "\t\t\t\t\t\t\t\t")
+		}
+		prev = group
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.0f\t%.1f\t%.4f\t%d\t%d\n",
+			r.collection, r.update, r.goroutines, r.protocol,
+			r.opsPerSec(), r.nsPerOp(), r.abortsPerOp(), r.stats.Commits, r.stats.Aborts)
+	}
+	tw.Flush()
+}
+
+// cellSpace summarizes the swept dimensions ("2 collections × 2 mixes
+// × 2 thread counts × 3 protocols").
+func cellSpace(results []cellResult) string {
+	colls := map[string]bool{}
+	mixes := map[int]bool{}
+	gs := map[int]bool{}
+	protos := map[string]bool{}
+	for _, r := range results {
+		colls[r.collection] = true
+		mixes[r.update] = true
+		gs[r.goroutines] = true
+		protos[r.protocol] = true
+	}
+	return fmt.Sprintf("%d collections × %d mixes × %d thread counts × %d protocols",
+		len(colls), len(mixes), len(gs), len(protos))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmsweep: bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

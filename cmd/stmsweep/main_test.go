@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tcc/internal/stm"
+)
+
+// smokeConfig mirrors the -smoke flag's configuration.
+func smokeConfig() sweepConfig {
+	return sweepConfig{
+		protocols:   stm.Protocols(),
+		collections: []string{"striped", "queue"},
+		updates:     []int{10, 50},
+		goroutines:  []int{2, 4},
+		ops:         64,
+		keys:        64,
+		seed:        7,
+	}
+}
+
+// TestSweepCoversCrossProduct runs the smoke sweep in-process and
+// checks every cell of the cross product is measured, does the
+// configured work, and commits it.
+func TestSweepCoversCrossProduct(t *testing.T) {
+	cfg := smokeConfig()
+	results := runSweep(cfg)
+	want := len(cfg.protocols) * len(cfg.collections) * len(cfg.updates) * len(cfg.goroutines)
+	if len(results) != want {
+		t.Fatalf("sweep produced %d cells, want %d", len(results), want)
+	}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		seen[r.name()] = true
+		if r.totalOps != r.goroutines*cfg.ops {
+			t.Errorf("%s: totalOps = %d, want %d", r.name(), r.totalOps, r.goroutines*cfg.ops)
+		}
+		if r.stats.Commits < uint64(r.totalOps) {
+			t.Errorf("%s: %d commits for %d ops", r.name(), r.stats.Commits, r.totalOps)
+		}
+		if r.stats.Protocol != r.protocol {
+			t.Errorf("%s: aggregate Stats.Protocol = %q, want %q", r.name(), r.stats.Protocol, r.protocol)
+		}
+		if r.elapsedNs <= 0 {
+			t.Errorf("%s: non-positive elapsed %f", r.name(), r.elapsedNs)
+		}
+	}
+	for _, proto := range cfg.protocols {
+		for _, coll := range cfg.collections {
+			for _, upd := range cfg.updates {
+				for _, g := range cfg.goroutines {
+					name := fmt.Sprintf("Sweep/%s/u%d/g%d/%s", coll, upd, g, proto)
+					if !seen[name] {
+						t.Errorf("missing cell %s", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSortedCollection covers the collection the smoke config
+// skips: the red-black TreeMap under a write-heavy mix, where
+// rotations force real conflicts through every protocol's commit.
+func TestSweepSortedCollection(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.collections = []string{"sorted"}
+	for _, r := range runSweep(cfg) {
+		if r.stats.Commits < uint64(r.totalOps) {
+			t.Errorf("%s: %d commits for %d ops", r.name(), r.stats.Commits, r.totalOps)
+		}
+	}
+}
+
+// TestBenchLinesParse checks the stdout face follows the `go test
+// -bench` line shape cmd/benchjson parses: name, iterations, then
+// (value, unit) pairs — an even field count with the three metrics.
+func TestBenchLinesParse(t *testing.T) {
+	results := []cellResult{{
+		collection: "striped", update: 10, goroutines: 2, protocol: "tl2",
+		totalOps: 128, elapsedNs: 128000,
+	}}
+	var buf bytes.Buffer
+	writeBenchLines(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"goos: ", "pkg: tcc/cmd/stmsweep", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench output missing %q:\n%s", want, out)
+		}
+	}
+	var benchLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Benchmark") {
+			benchLine = line
+		}
+	}
+	if benchLine == "" {
+		t.Fatalf("no benchmark line in:\n%s", out)
+	}
+	fields := strings.Fields(benchLine)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		t.Fatalf("benchmark line has %d fields, want even >= 4: %q", len(fields), benchLine)
+	}
+	if fields[0] != "BenchmarkSweep/striped/u10/g2/tl2" {
+		t.Errorf("benchmark name = %q", fields[0])
+	}
+	for _, unit := range []string{"ns/op", "ops/sec", "aborts/op"} {
+		if !strings.Contains(benchLine, unit) {
+			t.Errorf("benchmark line missing %s: %q", unit, benchLine)
+		}
+	}
+}
+
+// TestSummaryTable checks the human summary names every swept protocol
+// and collection.
+func TestSummaryTable(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.goroutines = []int{2}
+	cfg.ops = 8
+	results := runSweep(cfg)
+	var buf bytes.Buffer
+	writeSummary(&buf, results)
+	out := buf.String()
+	for _, want := range append(cfg.protocols, cfg.collections...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "2 collections × 2 mixes × 1 thread counts × 3 protocols") {
+		t.Errorf("summary missing cell-space line:\n%s", out)
+	}
+}
+
+// TestValidateRejectsUnknowns pins the driver's input validation.
+func TestValidateRejectsUnknowns(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.protocols = []string{"no-such-protocol"}
+	if err := validate(cfg); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	cfg = smokeConfig()
+	cfg.collections = []string{"skiplist"}
+	if err := validate(cfg); err == nil {
+		t.Error("unknown collection accepted")
+	}
+	cfg = smokeConfig()
+	cfg.updates = []int{120}
+	if err := validate(cfg); err == nil {
+		t.Error("out-of-range update ratio accepted")
+	}
+	if err := validate(smokeConfig()); err != nil {
+		t.Errorf("smoke config rejected: %v", err)
+	}
+}

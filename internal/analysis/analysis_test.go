@@ -126,6 +126,11 @@ func TestGuardOrderFixture(t *testing.T)    { runFixture(t, "guardorder") }
 func TestCommitBlockingFixture(t *testing.T) {
 	runFixture(t, "commitblocking")
 }
+
+// TestProtocolWindowsFixture covers the protocol seam's hold windows:
+// the write-set lockword span shared by every protocol's commit and
+// NOrec's sequence-lock span, one fixture file per protocol.
+func TestProtocolWindowsFixture(t *testing.T) { runFixture(t, "protocolwindows") }
 func TestWriteInReadonlyFixture(t *testing.T) { runFixture(t, "writeinreadonly") }
 
 // TestSuppress proves //stmlint:ignore silences exactly the named
@@ -137,7 +142,7 @@ func TestSuppress(t *testing.T) { runFixture(t, "suppress") }
 // each registered rule must fire somewhere in testdata.
 func TestEveryRuleHasFixture(t *testing.T) {
 	fired := make(map[string]bool)
-	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit", "guardorder", "commitblocking", "writeinreadonly"} {
+	for _, name := range []string{"nestedatomic", "txescape", "nakedvar", "nondet", "handlertxn", "unchecked", "traceincommit", "guardorder", "commitblocking", "protocolwindows", "writeinreadonly"} {
 		l, pkg := loadFixture(t, name)
 		for _, d := range analysis.Check(l.Fset, pkg) {
 			fired[d.Rule] = true

@@ -1,0 +1,26 @@
+package protocolwindows
+
+import "os"
+
+// Eager TL2 holds lockwords from Set onward, so its commit-time
+// lockWriteSet finds everything already owned — but the commit span is
+// the same lockWriteSet → installWriteSet window, and blocking inside
+// it stalls readers of every written var just the same.
+
+func eagerCommit(t *tx, buf []*varCore, f *os.File) {
+	if !lockWriteSet(t, buf) {
+		return
+	}
+	_, _ = f.WriteString("commit") // want commit-window-blocking
+	installWriteSet(buf, 1)
+}
+
+// eagerAbort releases via unlockWriteSet (the failed-commit path);
+// blocking after the release is clean.
+func eagerAbort(t *tx, buf []*varCore, ch chan int) {
+	if !lockWriteSet(t, buf) {
+		return
+	}
+	unlockWriteSet(buf)
+	<-ch
+}

@@ -87,38 +87,64 @@ func (p *Pass) forEachHandlerBody(f *ast.File, visit func(body *ast.BlockStmt)) 
 	})
 }
 
-// stmtOpensGuardWindow reports whether stmt directly opens a
-// commit-guard hold window: it calls stm.Guard.Lock (the collections'
-// fused critical sections), a function named acquireGuards (the commit
-// protocol's blocking footprint acquisition — matched by name so the
-// rule works both on the stm package's unexported helper and on
-// fixtures that model it), or a function or method named lockGuards (a
-// striped collection's all-stripes acquisition helper: a loop locking
-// every stripe guard in ascending id order, e.g. for an iterator
-// snapshot — everything after it runs with the whole instance's guards
-// held). Deferred calls and function literals do not count: a defer
-// runs at function return, and a closure body runs whenever it is
-// invoked — neither changes whether a guard is held at the statements
-// that follow.
+// Window vocabulary. Openers are calls that leave the caller holding
+// an exclusive resource every other committer can queue on; closers
+// release it. Three layers share the machinery:
+//
+//   - Commit guards: Guard.Lock/Unlock (the collections' fused
+//     critical sections), acquireGuards/releaseGuards (the commit
+//     protocol's footprint acquisition — matched by name so the rule
+//     works both on the stm package's unexported helpers and on
+//     fixtures that model them), and lockGuards/unlockGuards (a
+//     striped collection's all-stripes sweep, hung off the instance).
+//   - Write-set lockwords: lockWriteSet acquires every written var's
+//     lockword in id order; unlockWriteSet (failed commit) and
+//     installWriteSet (successful publish) release them. Between the
+//     two, every reader of those vars spins — the protocol seam's
+//     per-protocol commit methods (protocol_*.go) all hold this span.
+//   - The NOrec sequence lock: norecSeqAcquire leaves norecSeq odd,
+//     which stalls every NOrec reader and writer system-wide until
+//     norecSeqRelease stores it even again — the widest window of the
+//     three, so keeping it tight matters most.
+//
+// windowOpenNames/windowCloseNames entries marked free are matched
+// only as free functions (a method of that name would be something
+// else); the rest match with or without a receiver.
+var windowOpenNames = map[string]bool{
+	"acquireGuards":   true,
+	"lockGuards":      false,
+	"lockWriteSet":    true,
+	"norecSeqAcquire": true,
+}
+
+var windowCloseNames = map[string]bool{
+	"releaseGuards":   true,
+	"unlockGuards":    false,
+	"unlockWriteSet":  true,
+	"installWriteSet": true,
+	"norecSeqRelease": true,
+}
+
+// stmtOpensGuardWindow reports whether stmt directly opens a hold
+// window: stm.Guard.Lock or one of windowOpenNames. Deferred calls and
+// function literals do not count: a defer runs at function return, and
+// a closure body runs whenever it is invoked — neither changes whether
+// the resource is held at the statements that follow.
 func stmtOpensGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Lock", "acquireGuards", "lockGuards")
+	return stmtGuardOp(info, stmt, "Lock", windowOpenNames)
 }
 
 // stmtClosesGuardWindow reports whether stmt directly closes the
-// window: Guard.Unlock, or a call to a function named releaseGuards or
-// a function or method named unlockGuards.
+// window: Guard.Unlock or one of windowCloseNames.
 func stmtClosesGuardWindow(info *types.Info, stmt ast.Stmt) bool {
-	return stmtGuardOp(info, stmt, "Unlock", "releaseGuards", "unlockGuards")
+	return stmtGuardOp(info, stmt, "Unlock", windowCloseNames)
 }
 
-// stmtGuardOp matches three shapes of guard transition under stmt: the
-// Guard method itself (type-checked against the stm package), a free
-// function named freeName (acquireGuards/releaseGuards take the guard
-// slice as an argument, so a method of that name would be something
-// else), and a helper named helperName with or without a receiver —
-// striped collections hang lockGuards/unlockGuards off the instance
-// whose stripes they sweep.
-func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName string) bool {
+// stmtGuardOp matches a window transition under stmt: the Guard method
+// itself (type-checked against the stm package), or a call whose
+// callee's name is in names — freeOnly entries only when the callee
+// has no receiver.
+func stmtGuardOp(info *types.Info, stmt ast.Stmt, method string, names map[string]bool) bool {
 	found := false
 	ast.Inspect(stmt, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -128,9 +154,7 @@ func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName s
 			if isSTMMethod(info, n, "Guard", method) {
 				found = true
 			} else if fn := calleeFunc(info, n); fn != nil {
-				if fn.Name() == freeName && recvNamed(fn) == nil {
-					found = true
-				} else if fn.Name() == helperName {
+				if freeOnly, ok := names[fn.Name()]; ok && (!freeOnly || recvNamed(fn) == nil) {
 					found = true
 				}
 			}
@@ -140,16 +164,22 @@ func stmtGuardOp(info *types.Info, stmt ast.Stmt, method, freeName, helperName s
 	return found
 }
 
-// guardMachineryNames are the protocol's own acquisition/release
-// helpers. The blocking rule trusts them (acquiring the footprint is
-// the one sanctioned blocking operation — it is ordered, and it IS the
-// window), and window scanning treats calls to them as the window
-// boundary rather than as content.
+// guardMachineryNames are the protocols' own acquisition/release
+// helpers. The blocking rule trusts them (acquiring the footprint, the
+// write-set lockwords, or the sequence lock is the one sanctioned
+// blocking operation — ordered or bounded, and it IS the window), and
+// window scanning treats calls to them as the window boundary rather
+// than as content.
 var guardMachineryNames = map[string]bool{
-	"acquireGuards": true,
-	"releaseGuards": true,
-	"lockGuards":    true,
-	"unlockGuards":  true,
+	"acquireGuards":   true,
+	"releaseGuards":   true,
+	"lockGuards":      true,
+	"unlockGuards":    true,
+	"lockWriteSet":    true,
+	"unlockWriteSet":  true,
+	"installWriteSet": true,
+	"norecSeqAcquire": true,
+	"norecSeqRelease": true,
 }
 
 // isGuardMethod reports whether fn is a method of stm.Guard.

@@ -64,9 +64,13 @@ type Platform interface {
 
 // SimPlatform runs workloads on the deterministic virtual-CPU
 // simulator. The zero value is ready to use; set Seed for different
-// deterministic schedules.
+// deterministic schedules, and Protocol to run workers under a
+// non-default concurrency-control protocol.
 type SimPlatform struct {
 	Seed int64
+	// Protocol selects the STM protocol for every worker thread
+	// (stm.Protocols() lists the choices); "" means the default.
+	Protocol string
 }
 
 // Run executes body on `workers` virtual CPUs and reports the virtual
@@ -82,6 +86,7 @@ func (p *SimPlatform) Run(workers int, body func(w *Worker)) Result {
 			RNG:    rand.New(rand.NewSource(p.Seed<<16 | int64(cpu.ID()+1))),
 		}
 		w.Thread.TraceID = cpu.ID()
+		setProtocol(w.Thread, p.Protocol)
 		body(w)
 		mu.Lock()
 		agg.Add(w.Thread.Stats)
@@ -105,6 +110,22 @@ func (s *simLock) Unlock(w *Worker) { s.l.Release(w.Thread.Clock.(*sim.CPU)) }
 // beyond the host's core count require SimPlatform.
 type RealPlatform struct {
 	Seed int64
+	// Protocol selects the STM protocol for every worker thread
+	// (stm.Protocols() lists the choices); "" means the default.
+	Protocol string
+}
+
+// setProtocol applies a platform's protocol selection to a freshly
+// created worker thread. An unknown name panics: a sweep comparing
+// protocols must not silently fall back to the default and report its
+// numbers under the wrong label.
+func setProtocol(th *stm.Thread, proto string) {
+	if proto == "" {
+		return
+	}
+	if err := th.SetProtocol(proto); err != nil {
+		panic(err)
+	}
 }
 
 // Run executes body on `workers` goroutines and reports wall time in
@@ -124,6 +145,7 @@ func (p *RealPlatform) Run(workers int, body func(w *Worker)) Result {
 				RNG:    rand.New(rand.NewSource(p.Seed<<16 | int64(i+1))),
 			}
 			w.Thread.TraceID = i
+			setProtocol(w.Thread, p.Protocol)
 			body(w)
 			mu.Lock()
 			agg.Add(w.Thread.Stats)

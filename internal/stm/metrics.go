@@ -80,6 +80,9 @@ func (tx *Tx) countCommit(snapshot bool) {
 	}
 	lane := tx.thread.TraceID
 	mCommits.AddLane(lane, 1)
+	if pc := tx.thread.protoCommits; pc != nil {
+		pc.AddLane(lane, 1)
+	}
 	if snapshot {
 		mSnapCommits.AddLane(lane, 1)
 	}

@@ -1,0 +1,238 @@
+package stm
+
+import "sync/atomic"
+
+// NOrec: value-based validation over a single global sequence lock
+// (Dalessandro, Spear, Scott, "NOrec: Streamlining STM by Abolishing
+// Ownership Records", PPoPP 2010), adapted to this STM's boxed Vars.
+//
+// The protocol keeps no per-Var version traffic on the read side: a
+// read is one atomic load of the variable's current value box plus one
+// load of the sequence lock. The read set records the observed box;
+// validation re-compares values (box pointer equality as the fast
+// path), so a reader is only invalidated by commits that actually
+// changed something it read. Writer commits serialize on norecSeq —
+// CAS(rv → rv+1) to acquire, revalidate-on-CAS-failure, release at
+// rv+2 — which makes the successful first-try CAS itself the commit
+// validation: if the sequence has not moved since this transaction's
+// last validation, no writer has committed, so every recorded value is
+// still current.
+//
+// Interaction with the rest of the STM: writes are still installed
+// through the per-Var lockwords, acquired before the global-clock tick
+// that stamps the write version, exactly as TL2 installs — that
+// preserves the MVCC-lite readAt invariant, so the snapshot path and
+// GetCommitted work unchanged. SetCommitted bypasses norecSeq and is
+// only safe, as documented, for single-threaded setup.
+type norecProtocol struct{}
+
+var protoNOrec Protocol = registerProtocol(norecProtocol{})
+
+// norecSeq is the global sequence lock: even = free, odd = a writer is
+// committing. Read versions under NOrec are (even) values of this
+// sequence, not of the global clock.
+var norecSeq atomic.Uint64
+
+func (norecProtocol) Name() string { return "norec" }
+
+// begin waits for a quiescent (even) sequence value and adopts it as
+// the attempt's read version.
+func (norecProtocol) begin(t *Thread) uint64 {
+	for {
+		s := norecSeq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		t.Clock.Wait(4)
+	}
+}
+
+// read loads the variable's current box — immutable, so one atomic
+// load yields a coherent (value, version) pair — and post-validates
+// against the sequence lock: if any writer committed since this
+// transaction's read version, every recorded value is re-compared and
+// the read version moves forward (or the attempt aborts).
+func (norecProtocol) read(tx *Tx, c *varCore) any {
+	box := c.val.Load()
+	for tx.readVersion != norecSeq.Load() {
+		if !norecExtend(tx) {
+			tx.bail(sigRetry, "stale read")
+		}
+		box = c.val.Load()
+	}
+	tx.cur.reads.put(c, 0, box)
+	return box.val
+}
+
+// observeWrite does nothing: NOrec is lazy, like TL2.
+func (norecProtocol) observeWrite(tx *Tx, c *varCore) {}
+
+func (norecProtocol) extend(tx *Tx) bool { return norecExtend(tx) }
+
+// norecExtend is NOrec value-based extension: wait for a quiescent
+// sequence value, re-compare every recorded read's current value with
+// its observed value, and re-check the sequence; on success the read
+// version moves to the validated sequence value. Called from read and
+// nested-retry contexts only — it may unwind via tx.check (violation),
+// so it must never run inside the commit window (norecValidate is the
+// in-window variant).
+func norecExtend(tx *Tx) bool {
+	for {
+		s := norecSeq.Load()
+		if s&1 != 0 {
+			tx.check()
+			tx.thread.Clock.Wait(4)
+			continue
+		}
+		for l := tx.cur; l != nil; l = l.parent {
+			if c := l.reads.firstChangedValue(); c != nil {
+				tx.noteConflict(c, nil, causeStaleRead)
+				return false
+			}
+		}
+		if norecSeq.Load() == s {
+			tx.readVersion = s
+			return true
+		}
+	}
+}
+
+// commit is the NOrec writer commit. Read-only transactions commit
+// with no validation at all: every read was validated against the
+// sequence when it happened, so the transaction serializes at its read
+// version. Writers acquire the sequence lock by CAS(readVersion →
+// readVersion+1); a failed CAS means some writer committed since the
+// last validation, so the read set is revalidated by value (in-window
+// variant, no unwinding) and the CAS retried at the newer sequence.
+// Once the lock is held no concurrent writer exists, so the held
+// window only needs the per-Var installs — done through the lockwords,
+// before the global-clock tick, to keep snapshot readers safe.
+func (norecProtocol) commit(tx *Tx, l *level, doPrepare bool) bool {
+	if l.writes.len() == 0 {
+		return !doPrepare || tx.handle.toPrepared()
+	}
+	if !norecSeqAcquire(tx) {
+		return false
+	}
+	rv := tx.readVersion
+	buf := tx.thread.sortedWrites(l)
+	if !lockWriteSet(tx, buf) {
+		// Only a non-transactional SetCommitted can hold a lockword
+		// while we hold the sequence lock; bail out rather than spin.
+		norecSeqRelease(rv)
+		return false
+	}
+	if doPrepare && !tx.handle.toPrepared() {
+		unlockWriteSet(buf)
+		norecSeqRelease(rv)
+		return false
+	}
+	installWriteSet(buf, globalClock.Add(1))
+	norecSeqRelease(rv + 2)
+	return true
+}
+
+// norecSeqAcquire takes the sequence lock by CAS(readVersion →
+// readVersion+1), revalidating by value and re-adopting the newer
+// sequence on every CAS failure. On success norecSeq is odd and every
+// other NOrec transaction system-wide stalls until norecSeqRelease —
+// stmlint treats the acquire→release span as a hold window.
+func norecSeqAcquire(tx *Tx) bool {
+	for !norecSeq.CompareAndSwap(tx.readVersion, tx.readVersion+1) {
+		if !norecValidate(tx) {
+			return false
+		}
+	}
+	return true
+}
+
+// norecSeqRelease stores an even sequence value, reopening the lock:
+// readVersion (abort — nothing was installed while odd, so readers'
+// validations against the restored value still hold) or readVersion+2
+// (successful commit).
+func norecSeqRelease(s uint64) {
+	norecSeq.Store(s)
+}
+
+// norecValidate is norecExtend without unwinding, for the commit
+// window: a pending violation is left for the toPrepared CAS (or the
+// next attempt's check) to observe, and a writer that sits on the
+// sequence lock past the spin budget fails the commit instead of
+// blocking forever.
+func norecValidate(tx *Tx) bool {
+	for spin := 0; ; spin++ {
+		s := norecSeq.Load()
+		if s&1 != 0 {
+			if spin >= 64 {
+				tx.noteConflict(nil, nil, causeCommitLock)
+				return false
+			}
+			tx.thread.Clock.Wait(4)
+			continue
+		}
+		for l := tx.cur; l != nil; l = l.parent {
+			if c := l.reads.firstChangedValue(); c != nil {
+				tx.noteConflict(c, nil, causeCommitStale)
+				return false
+			}
+		}
+		if norecSeq.Load() == s {
+			tx.readVersion = s
+			return true
+		}
+	}
+}
+
+// snapshotMark maps the attempt's sequence-space read point into clock
+// space for the MVCC-lite snapshot branch: revalidate at a quiescent
+// sequence value, sample the global clock, and confirm the sequence
+// has not moved — then no writer committed around the clock sample, so
+// every recorded read is the newest committed value at that clock
+// version.
+func (norecProtocol) snapshotMark(tx *Tx) (uint64, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		if !norecExtend(tx) {
+			return 0, false
+		}
+		mark := globalClock.Load()
+		if norecSeq.Load() == tx.readVersion {
+			return mark, true
+		}
+	}
+	return 0, false
+}
+
+func (norecProtocol) abandon(tx *Tx)                 {}
+func (norecProtocol) abandonLevel(tx *Tx, l *level) {}
+
+// firstChangedValue returns the first recorded read whose current
+// committed value differs from the observed one (nil if none) — the
+// value-based validation predicate. Box pointer equality is the fast
+// path; distinct boxes holding equal values (a silent re-store) still
+// validate, which is NOrec's advantage over version validation.
+func (s *readSet) firstChangedValue() *varCore {
+	for i := 0; i < s.n; i++ {
+		e := &s.inline[i]
+		if cur := e.c.val.Load(); cur != e.box && !valuesEqual(cur.val, e.box.val) {
+			return e.c
+		}
+	}
+	for c, ev := range s.spill {
+		if cur := c.val.Load(); cur != ev.box && !valuesEqual(cur.val, ev.box.val) {
+			return c
+		}
+	}
+	return nil
+}
+
+// valuesEqual compares two committed values, treating values of
+// uncomparable dynamic types as unequal (conservative: forces an
+// abort) instead of panicking.
+func valuesEqual(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}

@@ -4,12 +4,17 @@ import (
 	"math/rand"
 
 	"tcc/internal/obs"
+	"tcc/internal/obs/metrics"
 )
 
 // Stats counts transactional events on one worker. Harnesses aggregate
 // them across workers to report the lost-work breakdowns the paper's
 // conflict analysis (TAPE-style, §6.3) relies on.
 type Stats struct {
+	// Protocol names the concurrency-control protocol the worker ran
+	// ("tl2" unless SetProtocol changed it). Aggregating Stats from
+	// workers on different protocols yields "mixed".
+	Protocol string
 	// Commits counts committed top-level transactions.
 	Commits uint64
 	// Aborts counts top-level rollbacks due to memory-level conflicts.
@@ -57,6 +62,12 @@ func (s *Stats) countViolation(reason string) {
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
+	switch {
+	case s.Protocol == "":
+		s.Protocol = other.Protocol
+	case other.Protocol != "" && other.Protocol != s.Protocol:
+		s.Protocol = "mixed"
+	}
 	s.Commits += other.Commits
 	s.Aborts += other.Aborts
 	s.Violations += other.Violations
@@ -97,6 +108,12 @@ type Thread struct {
 	TraceID int
 	rng     *rand.Rand
 	inTx    bool
+	// proto is the worker's concurrency-control protocol (see Protocol);
+	// NewThread starts on the TL2 default and SetProtocol switches it.
+	// protoCommits caches the protocol's labeled commit counter so the
+	// commit path never touches the registry maps.
+	proto        Protocol
+	protoCommits *metrics.Counter
 	// deferred accumulates cycles charged by commit/abort handlers via
 	// DeferTick; they are flushed to the Clock once the commit guard is
 	// released.
@@ -132,9 +149,18 @@ func (t *Thread) sortedGuards(lists ...[]*Guard) []*Guard {
 }
 
 // NewThread creates a worker bound to a clock, with a deterministic
-// backoff RNG seeded by seed.
+// backoff RNG seeded by seed. The worker starts on the default (TL2)
+// concurrency-control protocol; see SetProtocol.
 func NewThread(clock Clock, seed int64) *Thread {
-	return &Thread{Clock: clock, rng: rand.New(rand.NewSource(seed))}
+	t := &Thread{
+		Clock:        clock,
+		rng:          rand.New(rand.NewSource(seed)),
+		proto:        protocolRegistry[DefaultProtocol],
+		protoCommits: protoCommitCounters[DefaultProtocol],
+	}
+	t.Stats.Protocol = DefaultProtocol
+	protoThreadCounts[DefaultProtocol].Add(1)
+	return t
 }
 
 // getTx pops a recycled Tx or allocates one.
@@ -168,6 +194,11 @@ func (t *Thread) putTx(tx *Tx) {
 	tx.gwaitNs = 0
 	tx.snapshot = false
 	tx.fellBack = false
+	tx.snapVersion = 0
+	for i := range tx.eagerLocks {
+		tx.eagerLocks[i] = nil
+	}
+	tx.eagerLocks = tx.eagerLocks[:0]
 	if tx.locals != nil {
 		clear(tx.locals)
 	}
@@ -300,7 +331,11 @@ func (t *Thread) snapshotRead(fn func(tx *Tx) error) (error, bool) {
 		tx.thread = t
 		tx.handle = h
 		tx.outer = nil
+		// The snapshot path is protocol-independent MVCC: its read
+		// point is always a global-clock version, whatever space the
+		// active protocol's readVersion lives in.
 		tx.readVersion = globalClock.Load()
+		tx.snapVersion = tx.readVersion
 		tx.cur = t.getLevel(nil)
 		tx.attempt = 0
 		tx.snapshot = true
@@ -388,7 +423,8 @@ func (t *Thread) retryLoop(fn func(tx *Tx) error) error {
 		tx.thread = t
 		tx.handle = &Handle{id: handleIDs.Add(1), birth: t.Clock.Now()}
 		tx.outer = nil
-		tx.readVersion = globalClock.Load()
+		tx.readVersion = t.proto.begin(t)
+		tx.snapVersion = 0
 		tx.cur = t.getLevel(nil)
 		tx.attempt = attempt
 		tx.snapshot = false
@@ -532,7 +568,7 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 			t.putTx(o)
 			tx.check()
 		}
-		o.readVersion = globalClock.Load()
+		o.readVersion = t.proto.begin(t)
 		o.cur = t.getLevel(nil)
 		err, sig := runTx(fn, o)
 		switch {
@@ -555,6 +591,9 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 					e.Writes = o.cur.writes.len()
 					tr.Trace(e)
 				}
+				// Whatever the protocol still held for the child was
+				// released by the install; this only clears the tracking.
+				t.proto.abandon(o)
 				t.putTx(o)
 				tx.tick(CostOpenCommit)
 				return nil
@@ -565,6 +604,7 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 			}
 			o.emitOpenRetry()
 		case sig == nil && err != nil:
+			t.proto.abandon(o)
 			t.putTx(o)
 			return err
 		case sig.kind == sigRetry:
@@ -575,9 +615,11 @@ func (tx *Tx) Open(fn func(o *Tx) error) error {
 			o.emitOpenRetry()
 		default:
 			// Violation or user abort of the enclosing transaction.
+			t.proto.abandon(o)
 			t.putTx(o)
 			panic(sig)
 		}
+		t.proto.abandon(o)
 		t.releaseLevels(o)
 		o.backoffTraced(attempt)
 	}

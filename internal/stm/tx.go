@@ -60,47 +60,58 @@ type handler func()
 // head, a size field, a counter), so the common case allocates nothing.
 const inlineSet = 8
 
-// readEntry records one sampled read: the variable and the version the
+// readEvidence is what one sampled read recorded for later validation.
+// Version-validating protocols (TL2 and its eager variant) record the
+// observed lockword version; the value-validating protocol (NOrec)
+// records the observed value box instead. Exactly one of the two is
+// meaningful per protocol.
+type readEvidence struct {
+	ver uint64
+	box *valBox
+}
+
+// readEntry records one sampled read: the variable and the evidence the
 // transaction observed.
 type readEntry struct {
-	c   *varCore
-	ver uint64
+	c *varCore
+	readEvidence
 }
 
 // readSet is a small-size-optimized map from varCore to observed
-// version: the first inlineSet distinct vars live in an inline array,
+// evidence: the first inlineSet distinct vars live in an inline array,
 // the rest spill to a lazily allocated map. Entries are deduplicated by
 // core (matching the previous map semantics: re-reading a var
-// overwrites its recorded version).
+// overwrites its recorded evidence).
 type readSet struct {
 	n      int // entries used in inline
 	inline [inlineSet]readEntry
-	spill  map[*varCore]uint64
+	spill  map[*varCore]readEvidence
 }
 
-// put records (c, ver), overwriting any existing entry for c.
-func (s *readSet) put(c *varCore, ver uint64) {
+// put records (c, ver, box), overwriting any existing entry for c.
+func (s *readSet) put(c *varCore, ver uint64, box *valBox) {
+	ev := readEvidence{ver, box}
 	for i := 0; i < s.n; i++ {
 		if s.inline[i].c == c {
-			s.inline[i].ver = ver
+			s.inline[i].readEvidence = ev
 			return
 		}
 	}
 	if s.spill != nil {
 		if _, ok := s.spill[c]; ok {
-			s.spill[c] = ver
+			s.spill[c] = ev
 			return
 		}
 	}
 	if s.n < inlineSet {
-		s.inline[s.n] = readEntry{c, ver}
+		s.inline[s.n] = readEntry{c, ev}
 		s.n++
 		return
 	}
 	if s.spill == nil {
-		s.spill = make(map[*varCore]uint64)
+		s.spill = make(map[*varCore]readEvidence)
 	}
-	s.spill[c] = ver
+	s.spill[c] = ev
 }
 
 // has reports whether c has a recorded read.
@@ -130,9 +141,9 @@ func (s *readSet) firstInvalid(self *Handle) *varCore {
 			return s.inline[i].c
 		}
 	}
-	for c, ver := range s.spill {
+	for c, ev := range s.spill {
 		cur, lockedByOther := c.peek(self)
-		if lockedByOther || cur != ver {
+		if lockedByOther || cur != ev.ver {
 			return c
 		}
 	}
@@ -283,10 +294,23 @@ type Tx struct {
 	// outer is the enclosing Tx for an open-nested child, nil for a
 	// top-level transaction.
 	outer *Tx
-	// readVersion is this Tx's TL2 snapshot version; an open-nested
-	// child samples its own, newer snapshot.
+	// readVersion is this Tx's read point in whatever space the active
+	// protocol's begin hook samples (TL2: the global version clock;
+	// NOrec: the commit sequence lock); an open-nested child samples
+	// its own, newer read point.
 	readVersion uint64
-	cur         *level
+	// snapVersion is the global-clock version the MVCC-lite snapshot
+	// branch reads at while snapshot mode is on. It equals readVersion
+	// for clock-based protocols but must be tracked separately because
+	// NOrec's readVersion lives in sequence-lock space; set by
+	// snapshotRead and by SetReadOnly via the protocol's snapshotMark.
+	snapVersion uint64
+	// eagerLocks tracks the lockwords this Tx (not its open-nested
+	// children, which track their own) acquired at Set time under an
+	// encounter-time protocol, for release on rollback. Empty under
+	// lazy protocols.
+	eagerLocks []*varCore
+	cur        *level
 	// locals holds per-transaction attachments keyed by arbitrary
 	// comparable keys; the transactional collections store their
 	// thread-local buffers and lock sets here (paper Tables 3, 6, 9
@@ -365,7 +389,7 @@ func (tx *Tx) IsSnapshot() bool { return tx.top().snapshot }
 // stays serializable at its read version.
 func (tx *Tx) SetReadOnly() {
 	top := tx.top()
-	if top.fellBack {
+	if top.fellBack || top.snapshot {
 		return
 	}
 	for l := top.cur; l != nil; l = l.parent {
@@ -373,6 +397,16 @@ func (tx *Tx) SetReadOnly() {
 			return
 		}
 	}
+	// The snapshot branch reads at a global-clock version; ask the
+	// protocol to map the attempt's read point into clock space. If no
+	// such mark can be established the declaration is silently dropped
+	// and the transaction stays on the ordinary path, which is always
+	// correct.
+	v, ok := top.thread.proto.snapshotMark(top)
+	if !ok {
+		return
+	}
+	top.snapVersion = v
 	top.snapshot = true
 }
 
@@ -538,20 +572,12 @@ func (tx *Tx) bail(kind sigKind, reason string) {
 
 func (tx *Tx) tick(cycles uint64) { tx.thread.Clock.Tick(cycles) }
 
-// extend attempts TL2 read-version extension: if every read recorded so
-// far is still at its recorded version and unlocked, the snapshot can be
-// moved forward to the current global clock, allowing a read of a newer
-// variable to proceed without aborting.
+// extend asks the protocol to revalidate every recorded read and, on
+// success, move the transaction's read point forward to the present —
+// the partial-rollback retry's way of keeping the enclosing transaction
+// viable (see Protocol.extend).
 func (tx *Tx) extend() bool {
-	now := globalClock.Load()
-	for l := tx.cur; l != nil; l = l.parent {
-		if c := l.reads.firstInvalid(tx.handle); c != nil {
-			tx.noteConflict(c, nil, causeStaleRead)
-			return false
-		}
-	}
-	tx.readVersion = now
-	return true
+	return tx.thread.proto.extend(tx)
 }
 
 // Nested runs fn as a closed-nested transaction with partial rollback:
@@ -579,7 +605,9 @@ func (tx *Tx) Nested(fn func() error) error {
 			t.putLevel(child)
 			return nil
 		case sig == nil && err != nil:
-			// Child aborts by user request: compensate and report.
+			// Child aborts by user request: release anything the
+			// protocol held only for this level, compensate and report.
+			t.proto.abandonLevel(tx, child)
 			child.runAbortHandlers()
 			t.putLevel(child)
 			return err
@@ -589,6 +617,7 @@ func (tx *Tx) Nested(fn func() error) error {
 			// be extended past the conflicting commit; otherwise some
 			// enclosing read is stale and the whole transaction must
 			// restart.
+			t.proto.abandonLevel(tx, child)
 			child.runAbortHandlers()
 			t.putLevel(child)
 			tx.thread.Stats.NestedRetries++
@@ -606,7 +635,8 @@ func (tx *Tx) Nested(fn func() error) error {
 			tx.backoffTraced(childAttempt)
 		default:
 			// Violation or user abort of the whole transaction: this
-			// child level is rolled back on the way out.
+			// child level is rolled back on the way out; the unwinding
+			// rollback's protocol abandon releases any held state.
 			child.runAbortHandlers()
 			t.putLevel(child)
 			panic(sig)
@@ -621,12 +651,12 @@ func (child *level) mergeInto(parent *level) {
 	for i := 0; i < child.reads.n; i++ {
 		e := child.reads.inline[i]
 		if !parent.reads.has(e.c) {
-			parent.reads.put(e.c, e.ver)
+			parent.reads.put(e.c, e.ver, e.box)
 		}
 	}
-	for c, ver := range child.reads.spill {
+	for c, ev := range child.reads.spill {
 		if !parent.reads.has(c) {
-			parent.reads.put(c, ver)
+			parent.reads.put(c, ev.ver, ev.box)
 		}
 	}
 	for i := 0; i < child.writes.n; i++ {
@@ -750,52 +780,14 @@ func (o *Tx) commitOpen() bool {
 	return o.publish(l, false)
 }
 
-// publish is the single lock-sort-validate-install sequence shared by
-// top-level and open-nested commits: acquire the write set's lockwords
-// in variable-ID order (deadlock freedom), validate the read set, for a
-// top-level commit (doPrepare) pass the point of no return, and install
-// every write at one fresh global-clock tick. On any failure all
-// acquired locks are released, nothing is installed, and for doPrepare
-// the handle is left un-Prepared so the caller rolls back. The sorted
-// write-set scratch buffer is recycled through the Thread.
+// publish hands level l to the protocol's commit sequence (acquire,
+// validate, for doPrepare pass the point of no return, install at a
+// fresh global-clock tick, release — see Protocol.commit and the
+// protocol_*.go implementations). On any failure nothing is installed,
+// every lock the commit itself took is released, and for doPrepare the
+// handle is left un-Prepared so the caller rolls back.
 func (tx *Tx) publish(l *level, doPrepare bool) bool {
-	if l.writes.len() == 0 {
-		// Read-only fast path: every read was validated against the
-		// snapshot when it happened, so the transaction is serializable
-		// at readVersion. For a top-level commit only the violation
-		// race remains; an open-nested child has nothing to do.
-		return !doPrepare || tx.handle.toPrepared()
-	}
-	buf := tx.thread.sortedWrites(l)
-	for i, e := range buf {
-		if !e.c.tryLock(tx.handle) {
-			tx.noteConflict(e.c, e.c.owner.Load(), causeCommitLock)
-			releaseLocks(buf[:i])
-			return false
-		}
-	}
-	if c := l.reads.firstInvalid(tx.handle); c != nil {
-		tx.noteConflict(c, nil, causeCommitStale)
-		releaseLocks(buf)
-		return false
-	}
-	if doPrepare && !tx.handle.toPrepared() {
-		releaseLocks(buf)
-		return false
-	}
-	wv := globalClock.Add(1)
-	for _, e := range buf {
-		e.c.install(e.val, wv)
-	}
-	return true
-}
-
-// releaseLocks unlocks the given write-set prefix after a failed
-// publish, leaving versions unchanged.
-func releaseLocks(buf []writeEntry) {
-	for _, e := range buf {
-		e.c.unlock()
-	}
+	return tx.thread.proto.commit(tx, l, doPrepare)
 }
 
 // writeBuf is the per-thread sorted write-set scratch; the pointer
@@ -839,6 +831,10 @@ func (t *Thread) sortedWrites(l *level) []writeEntry {
 func (tx *Tx) rollback() {
 	tx.handle.setAborted()
 	t := tx.thread
+	// Release whatever the protocol still holds for this attempt (an
+	// encounter-time protocol's Set-acquired lockwords) before blocking
+	// on the abort-guard footprint.
+	t.proto.abandon(tx)
 	buf := t.guardBuf[:0]
 	for l := tx.cur; l != nil; l = l.parent {
 		for _, g := range l.abortGuards {

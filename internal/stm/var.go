@@ -266,10 +266,10 @@ func (v *Var[T]) Get(tx *Tx) T {
 	c := v.core
 	top := tx.top()
 	if top.snapshot {
-		// Snapshot mode: invisible read against the frozen read
-		// version. Nothing is recorded, validated, or extended; a
+		// Snapshot mode: invisible read against the frozen clock-space
+		// read version. Nothing is recorded, validated, or extended; a
 		// writer can never observe — let alone abort — this reader.
-		val, ok := c.readAt(tx.thread.Clock, top.readVersion)
+		val, ok := c.readAt(tx.thread.Clock, top.snapVersion)
 		if !ok {
 			tx.bail(sigFallback, fallbackShallowHistory)
 		}
@@ -282,11 +282,7 @@ func (v *Var[T]) Get(tx *Tx) T {
 			return val.(T)
 		}
 	}
-	val, ver := c.sample(tx)
-	if ver > tx.readVersion && !tx.extend() {
-		tx.bail(sigRetry, "stale read")
-	}
-	tx.cur.reads.put(c, ver)
+	val := tx.thread.proto.read(tx, c)
 	tx.tick(CostRead)
 	return val.(T)
 }
@@ -302,6 +298,7 @@ func (v *Var[T]) Set(tx *Tx, val T) {
 	if tx.top().snapshot {
 		tx.bail(sigFallback, fallbackWrite)
 	}
+	tx.thread.proto.observeWrite(tx, v.core)
 	tx.cur.writes.put(v.core, val)
 	tx.tick(CostWrite)
 }

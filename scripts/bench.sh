@@ -27,6 +27,11 @@ note=${BENCH_NOTE:-}
   # Wall-clock operation benches, simulator figure regenerations, and
   # the root-level STM demonstration benches (striped hot-map pair).
   go test -run '^$' -bench 'BenchmarkReal|BenchmarkFigure|BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" .
+  # Synchrobench-style protocol sweep (protocol × collection × update
+  # ratio × goroutine count); its stdout is bench-format text, so it
+  # merges into the same report. The human summary goes to stderr with
+  # the rest of the bench chatter.
+  go run ./cmd/stmsweep
 } | tee /dev/stderr | go run ./cmd/benchjson -note "$note" > "$out"
 
 echo "bench: wrote $out" >&2

@@ -90,6 +90,21 @@ if ! wait "$bench_pid"; then
   exit 1
 fi
 
+echo "== protocol sweep smoke (stmsweep -smoke, JSON-validated via benchjson)"
+# The tiny deterministic sweep: every registered protocol × 2
+# collections × 2 update mixes × 2 thread counts. Its stdout is
+# standard `go test -bench` text; piping through cmd/benchjson both
+# validates the convention and produces the JSON we assert on.
+go run ./cmd/stmsweep -smoke 2> /dev/null \
+  | go run ./cmd/benchjson -note "stmsweep smoke" > "$obsdir/sweep.json"
+for cell in 'Sweep/striped/u10/g2/tl2' 'Sweep/striped/u50/g4/norec' \
+            'Sweep/queue/u50/g4/tl2-eager'; do
+  if ! grep -q "\"name\": \"$cell\"" "$obsdir/sweep.json"; then
+    echo "sweep smoke: cell $cell missing from report" >&2
+    exit 1
+  fi
+done
+
 if [[ "$mode" == "bench" ]]; then
   echo "== bench suite (scripts/bench.sh)"
   ./scripts/bench.sh
