@@ -169,6 +169,93 @@ func BenchmarkSTMHotMapDisjointKeysSingleGuard(b *testing.B) {
 	hotMapDisjointKeys(b, core.NewTransactionalMap[int, int](collections.NewHashMap[int, int]()))
 }
 
+// hotSortedMapDisjointRanges is the sorted-map sequel to
+// hotMapDisjointKeys: 8 workers hammer ONE shared sorted map, each
+// confined to its own key range, and each commit carries a 50µs
+// sleeping handler under that range's stripe guard. On the single-guard
+// sorted map every window serializes; on the range-striped map the
+// workers' intervals live on distinct stripes and the windows overlap.
+func hotSortedMapDisjointRanges(b *testing.B, tm *core.TransactionalSortedMap[int, int]) {
+	const workers = 8
+	var next atomic.Int64
+	b.SetParallelism(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		wkr := int(next.Add(1)-1) % workers
+		base := wkr * 1024 // worker w owns [w*1024, (w+1)*1024)
+		g := tm.StripeGuard(base)
+		th := stm.NewThread(&stm.RealClock{}, int64(wkr+1))
+		handler := func() { time.Sleep(50 * time.Microsecond) }
+		v := 0
+		for pb.Next() {
+			v++
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				tm.Put(tx, base+v&1023, v)
+				tx.OnCommitGuarded(g, handler)
+				return nil
+			})
+		}
+	})
+}
+
+// sortedBenchBoundaries splits the 8 workers' 1024-key intervals onto
+// distinct stripes.
+var sortedBenchBoundaries = []int{1024, 2048, 3072, 4096, 5120, 6144, 7168}
+
+// BenchmarkSTMHotSortedMap is the tentpole target: disjoint-range
+// writers on one range-striped sorted map commit in parallel.
+func BenchmarkSTMHotSortedMap(b *testing.B) {
+	hotSortedMapDisjointRanges(b, core.NewRangeStripedTransactionalSortedMap[int, int](func() collections.SortedMap[int, int] {
+		return collections.NewTreeMap[int, int]()
+	}, sortedBenchBoundaries))
+}
+
+// BenchmarkSTMHotSortedMapSingleGuard is the pre-striping baseline: the
+// same workload against a single-guard TransactionalSortedMap.
+func BenchmarkSTMHotSortedMapSingleGuard(b *testing.B) {
+	hotSortedMapDisjointRanges(b, core.NewTransactionalSortedMap[int, int](collections.NewTreeMap[int, int]()))
+}
+
+// hotQueueDisjointLanes is the companion queue demonstration: 8
+// producers each append to their own lane, every commit carrying a 50µs
+// sleeping handler under that lane's guard.
+func hotQueueDisjointLanes(b *testing.B, q *core.TransactionalQueue[int], lanes int) {
+	const workers = 8
+	var next atomic.Int64
+	b.SetParallelism(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		wkr := int(next.Add(1)-1) % workers
+		lane := wkr % lanes
+		g := q.LaneGuard(lane)
+		th := stm.NewThread(&stm.RealClock{}, int64(wkr+1))
+		handler := func() { time.Sleep(50 * time.Microsecond) }
+		for pb.Next() {
+			_ = th.Atomic(func(tx *stm.Tx) error {
+				q.PutLane(tx, lane, wkr)
+				tx.OnCommitGuarded(g, handler)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkSTMHotQueueDisjointLanes: disjoint-lane producers on one
+// segmented queue commit in parallel.
+func BenchmarkSTMHotQueueDisjointLanes(b *testing.B) {
+	hotQueueDisjointLanes(b, core.NewSegmentedTransactionalQueue[int](func() collections.Queue[int] {
+		return collections.NewLinkedQueue[int]()
+	}, 8), 8)
+}
+
+// BenchmarkSTMHotQueueDisjointLanesSingleLane is the pre-segmentation
+// baseline: the same workload against a single-lane queue.
+func BenchmarkSTMHotQueueDisjointLanesSingleLane(b *testing.B) {
+	hotQueueDisjointLanes(b, core.NewTransactionalQueue[int](collections.NewLinkedQueue[int]()), 1)
+}
+
 // BenchmarkFigure4 regenerates the single-warehouse SPECjbb2000 sweep
 // across the four configurations.
 func BenchmarkFigure4(b *testing.B) {

@@ -21,7 +21,7 @@
 //	stmsweep                              # full default sweep
 //	stmsweep -smoke                       # tiny deterministic config (CI gate)
 //	stmsweep -protocols tl2,norec         # subset of stm.Protocols()
-//	stmsweep -collections striped,sorted  # striped | sorted | queue
+//	stmsweep -collections striped,sorted  # striped | sorted | sortedmap | queue | lanequeue
 //	stmsweep -updates 10,50 -goroutines 2,4,8 -ops 20000 -keys 1024
 package main
 
@@ -37,6 +37,8 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"tcc/internal/collections"
+	"tcc/internal/core"
 	"tcc/internal/harness"
 	"tcc/internal/stm"
 	"tcc/internal/stmcol"
@@ -77,7 +79,7 @@ func (r cellResult) abortsPerOp() float64 { return float64(r.stats.Aborts) / flo
 func main() {
 	var (
 		protocolsFlag   = flag.String("protocols", strings.Join(stm.Protocols(), ","), "comma-separated protocols to sweep")
-		collectionsFlag = flag.String("collections", "striped,sorted,queue", "comma-separated collections (striped, sorted, queue)")
+		collectionsFlag = flag.String("collections", "striped,sorted,sortedmap,queue,lanequeue", "comma-separated collections (striped, sorted, sortedmap, queue, lanequeue)")
 		updatesFlag     = flag.String("updates", "10,50", "comma-separated update percentages")
 		goroutinesFlag  = flag.String("goroutines", "2,4,8", "comma-separated goroutine counts")
 		opsFlag         = flag.Int("ops", 20000, "operations per goroutine per cell")
@@ -97,10 +99,12 @@ func main() {
 		seed:        *seedFlag,
 	}
 	if *smokeFlag {
-		// The CI smoke cell: every protocol, two collection shapes, two
-		// mixes, two thread counts, 64 ops per goroutine — small enough
-		// for a gate, wide enough to exercise every seam method.
-		cfg.collections = []string{"striped", "queue"}
+		// The CI smoke cell: every protocol, the striped collection
+		// shapes (map, range-striped sorted map, plain and segmented
+		// queue), two mixes, two thread counts, 64 ops per goroutine —
+		// small enough for a gate, wide enough to exercise every seam
+		// method and both cross-stripe paths.
+		cfg.collections = []string{"striped", "sortedmap", "queue", "lanequeue"}
 		cfg.updates = []int{10, 50}
 		cfg.goroutines = []int{2, 4}
 		cfg.ops = 64
@@ -127,8 +131,10 @@ func validate(cfg sweepConfig) error {
 		}
 	}
 	for _, c := range cfg.collections {
-		if c != "striped" && c != "sorted" && c != "queue" {
-			return fmt.Errorf("unknown collection %q (have striped, sorted, queue)", c)
+		switch c {
+		case "striped", "sorted", "sortedmap", "queue", "lanequeue":
+		default:
+			return fmt.Errorf("unknown collection %q (have striped, sorted, sortedmap, queue, lanequeue)", c)
 		}
 	}
 	if len(cfg.protocols) == 0 || len(cfg.collections) == 0 || len(cfg.updates) == 0 || len(cfg.goroutines) == 0 {
@@ -197,8 +203,15 @@ type workload struct {
 //     the disjoint-key-friendly map), Get vs Put/Remove.
 //   - sorted: TreeMap (red-black tree; rotations near the root are the
 //     paper's conflict hot spot), Get vs Put/Remove.
+//   - sortedmap: range-striped TransactionalSortedMap (8 interval
+//     stripes over the key space, per-stripe guards and range tables),
+//     Get vs Put/Remove with an occasional cross-stripe CeilingKey so
+//     the stripe-walk path rides the sweep too.
 //   - queue: Queue; the "read" op is Peek+Size, the update alternates
 //     Enqueue/Dequeue so the queue stays near its initial length.
+//   - lanequeue: segmented TransactionalQueue (4 lanes, per-lane guards
+//     and empty locks); the "read" op is Peek, the update alternates
+//     Put/Poll on the worker's home lane.
 func newWorkload(coll string, cfg sweepConfig) *workload {
 	pick := func(w *harness.Worker) int { return w.RNG.Intn(cfg.keys) }
 	isUpdate := func(w *harness.Worker, pct int) bool { return w.RNG.Intn(100) < pct }
@@ -231,6 +244,53 @@ func newWorkload(coll string, cfg sweepConfig) *workload {
 					m.Put(tx, k, k)
 				} else {
 					m.Remove(tx, k)
+				}
+				return nil
+			})
+		}}
+	case "sortedmap":
+		const stripes = 8
+		var bounds []int
+		for i := 1; i < stripes; i++ {
+			bounds = append(bounds, i*cfg.keys/stripes)
+		}
+		m := core.NewRangeStripedTransactionalSortedMap[int, int](func() collections.SortedMap[int, int] {
+			return collections.NewTreeMap[int, int]()
+		}, bounds)
+		m.SetName("sweep-sortedmap")
+		seedMap(cfg, func(tx *stm.Tx, k int) { m.Put(tx, k, k) })
+		return &workload{op: func(w *harness.Worker, pct int) error {
+			k := pick(w)
+			nav := w.RNG.Intn(16) == 0
+			return w.Thread.Atomic(func(tx *stm.Tx) error {
+				switch {
+				case nav:
+					m.CeilingKey(tx, k)
+				case !isUpdate(w, pct):
+					m.Get(tx, k)
+				case k%2 == 0:
+					m.Put(tx, k, k)
+				default:
+					m.Remove(tx, k)
+				}
+				return nil
+			})
+		}}
+	case "lanequeue":
+		q := core.NewSegmentedTransactionalQueue[int](func() collections.Queue[int] {
+			return collections.NewLinkedQueue[int]()
+		}, 4)
+		q.SetName("sweep-lanequeue")
+		seedMap(cfg, func(tx *stm.Tx, k int) { q.Put(tx, k) })
+		return &workload{op: func(w *harness.Worker, pct int) error {
+			enq := pick(w)%2 == 0
+			return w.Thread.Atomic(func(tx *stm.Tx) error {
+				if !isUpdate(w, pct) {
+					q.Peek(tx)
+				} else if enq {
+					q.Put(tx, 1)
+				} else {
+					q.Poll(tx)
 				}
 				return nil
 			})

@@ -13,7 +13,7 @@ import (
 func smokeConfig() sweepConfig {
 	return sweepConfig{
 		protocols:   stm.Protocols(),
-		collections: []string{"striped", "queue"},
+		collections: []string{"striped", "sortedmap", "queue", "lanequeue"},
 		updates:     []int{10, 50},
 		goroutines:  []int{2, 4},
 		ops:         64,
@@ -129,7 +129,7 @@ func TestSummaryTable(t *testing.T) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
 	}
-	if !strings.Contains(out, "2 collections × 2 mixes × 1 thread counts × 3 protocols") {
+	if !strings.Contains(out, "4 collections × 2 mixes × 1 thread counts × 3 protocols") {
 		t.Errorf("summary missing cell-space line:\n%s", out)
 	}
 }

@@ -127,9 +127,19 @@ func loopGuardOps(info *types.Info, body *ast.BlockStmt) (lock token.Pos, unlock
 	return lock, unlock
 }
 
+// guardAcquireOpenerNames are the multi-guard openers whose *call*
+// counts as acquiring more guards when it happens with one already
+// held: the striped collections' sweeps plus the footprint machinery.
+var guardAcquireOpenerNames = map[string]bool{
+	"lockGuards":     true,
+	"lockStripeSpan": true,
+	"lockLanes":      true,
+}
+
 // guardAcquireEffectsIn collects guard acquisitions lexically on the
-// synchronous path under root: Guard.Lock calls and calls to anything
-// named lockGuards or acquireGuards.
+// synchronous path under root: Guard.Lock calls and calls to any
+// multi-guard opener (lockGuards, lockStripeSpan, lockLanes,
+// acquireGuards).
 func guardAcquireEffectsIn(g *CallGraph, info *types.Info, root ast.Node) []effect {
 	var effs []effect
 	g.inspectSyncPath(root, func(n ast.Node) bool {
@@ -140,7 +150,7 @@ func guardAcquireEffectsIn(g *CallGraph, info *types.Info, root ast.Node) []effe
 		if isSTMMethod(info, call, "Guard", "Lock") {
 			effs = append(effs, effect{call.Pos(), "Guard.Lock"})
 		} else if fn := calleeFunc(info, call); fn != nil &&
-			(fn.Name() == "lockGuards" || (fn.Name() == "acquireGuards" && recvNamed(fn) == nil)) {
+			(guardAcquireOpenerNames[fn.Name()] || (fn.Name() == "acquireGuards" && recvNamed(fn) == nil)) {
 			effs = append(effs, effect{call.Pos(), "call to " + fn.Name()})
 		}
 		return true

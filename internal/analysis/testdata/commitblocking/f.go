@@ -153,6 +153,51 @@ func metricsRegistrationInWindow() {
 	guard.Unlock()
 }
 
+// laneSweep models the segmented queue's all-lane hold window
+// (lockLanes/unlockLanes) and the range-striped sorted map's interval
+// span (lockStripeSpan/unlockStripeSpan): calls to them open and close
+// commit-guard hold windows just like lockGuards, so blocking between
+// them convoys every lane/stripe at once.
+type laneSweep struct {
+	guards []*stm.Guard
+}
+
+func (s *laneSweep) lockLanes() {
+	for _, g := range s.guards {
+		g.Lock()
+	}
+}
+
+func (s *laneSweep) unlockLanes() {
+	for _, g := range s.guards {
+		g.Unlock()
+	}
+}
+
+func (s *laneSweep) lockStripeSpan(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		s.guards[i].Lock()
+	}
+}
+
+func (s *laneSweep) unlockStripeSpan(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		s.guards[i].Unlock()
+	}
+}
+
+func sleepInLaneWindow(s *laneSweep) {
+	s.lockLanes()
+	time.Sleep(time.Millisecond) // want commit-window-blocking
+	s.unlockLanes()
+}
+
+func sleepInSpanWindow(s *laneSweep) {
+	s.lockStripeSpan(0, 1)
+	time.Sleep(time.Millisecond) // want commit-window-blocking
+	s.unlockStripeSpan(0, 1)
+}
+
 // suppressedSleep: a reviewed violation is silenced in place.
 func suppressedSleep() {
 	guard.Lock()

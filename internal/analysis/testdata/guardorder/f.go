@@ -126,6 +126,51 @@ func stripeSweepUnderGuard(s *striped) {
 	guardA.Unlock()
 }
 
+// lockStripeSpan/unlockStripeSpan model the range-striped sorted map's
+// contiguous-interval sweep; lockLanes/unlockLanes the segmented
+// queue's all-lane sweep. All four are machinery: their loops are
+// their job (ascending ID order by construction).
+func (s *striped) lockStripeSpan(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		s.guards[i].Lock()
+	}
+}
+
+func (s *striped) unlockStripeSpan(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		s.guards[i].Unlock()
+	}
+}
+
+func (s *striped) lockLanes() {
+	for _, g := range s.guards {
+		g.Lock()
+	}
+}
+
+func (s *striped) unlockLanes() {
+	for _, g := range s.guards {
+		g.Unlock()
+	}
+}
+
+// spanSweepUnderGuard: a sorted map's interval-span sweep entered with
+// a guard already held is the same inversion as lockGuards.
+func spanSweepUnderGuard(s *striped) {
+	guardA.Lock()
+	s.lockStripeSpan(0, 1) // want guard-order
+	s.unlockStripeSpan(0, 1)
+	guardA.Unlock()
+}
+
+// laneSweepUnderGuard: likewise the segmented queue's all-lane sweep.
+func laneSweepUnderGuard(s *striped) {
+	guardA.Lock()
+	s.lockLanes() // want guard-order
+	s.unlockLanes()
+	guardA.Unlock()
+}
+
 // suppressedNested: a reviewed violation is silenced in place.
 func suppressedNested() {
 	guardA.Lock()

@@ -95,8 +95,12 @@ func (p *Pass) forEachHandlerBody(f *ast.File, visit func(body *ast.BlockStmt)) 
 //     critical sections), acquireGuards/releaseGuards (the commit
 //     protocol's footprint acquisition — matched by name so the rule
 //     works both on the stm package's unexported helpers and on
-//     fixtures that model them), and lockGuards/unlockGuards (a
-//     striped collection's all-stripes sweep, hung off the instance).
+//     fixtures that model them), and the striped collections'
+//     multi-guard sweeps hung off the instance:
+//     lockGuards/unlockGuards (all stripes),
+//     lockStripeSpan/unlockStripeSpan (a contiguous interval span of
+//     a range-striped sorted map), and lockLanes/unlockLanes (all
+//     lanes of a segmented queue).
 //   - Write-set lockwords: lockWriteSet acquires every written var's
 //     lockword in id order; unlockWriteSet (failed commit) and
 //     installWriteSet (successful publish) release them. Between the
@@ -113,16 +117,20 @@ func (p *Pass) forEachHandlerBody(f *ast.File, visit func(body *ast.BlockStmt)) 
 var windowOpenNames = map[string]bool{
 	"acquireGuards":   true,
 	"lockGuards":      false,
+	"lockStripeSpan":  false,
+	"lockLanes":       false,
 	"lockWriteSet":    true,
 	"norecSeqAcquire": true,
 }
 
 var windowCloseNames = map[string]bool{
-	"releaseGuards":   true,
-	"unlockGuards":    false,
-	"unlockWriteSet":  true,
-	"installWriteSet": true,
-	"norecSeqRelease": true,
+	"releaseGuards":    true,
+	"unlockGuards":     false,
+	"unlockStripeSpan": false,
+	"unlockLanes":      false,
+	"unlockWriteSet":   true,
+	"installWriteSet":  true,
+	"norecSeqRelease":  true,
 }
 
 // stmtOpensGuardWindow reports whether stmt directly opens a hold
@@ -171,15 +179,19 @@ func stmtGuardOp(info *types.Info, stmt ast.Stmt, method string, names map[strin
 // window scanning treats calls to them as the window boundary rather
 // than as content.
 var guardMachineryNames = map[string]bool{
-	"acquireGuards":   true,
-	"releaseGuards":   true,
-	"lockGuards":      true,
-	"unlockGuards":    true,
-	"lockWriteSet":    true,
-	"unlockWriteSet":  true,
-	"installWriteSet": true,
-	"norecSeqAcquire": true,
-	"norecSeqRelease": true,
+	"acquireGuards":    true,
+	"releaseGuards":    true,
+	"lockGuards":       true,
+	"unlockGuards":     true,
+	"lockStripeSpan":   true,
+	"unlockStripeSpan": true,
+	"lockLanes":        true,
+	"unlockLanes":      true,
+	"lockWriteSet":     true,
+	"unlockWriteSet":   true,
+	"installWriteSet":  true,
+	"norecSeqAcquire":  true,
+	"norecSeqRelease":  true,
 }
 
 // isGuardMethod reports whether fn is a method of stm.Guard.

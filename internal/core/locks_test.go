@@ -37,7 +37,9 @@ func snapshotLocks(tm *TransactionalMap[int, int], h *stm.Handle, probeKeys []in
 	if tm.sorted != nil {
 		st.first = tm.sorted.firstLockers.Holds(h)
 		st.last = tm.sorted.lastLockers.Holds(h)
-		st.rangeLocks = tm.sorted.rangeLockers.Len()
+		for _, rt := range tm.sorted.rangeLockers {
+			st.rangeLocks += rt.Len()
+		}
 	}
 	return st
 }
@@ -316,8 +318,8 @@ func coversAny(tm *TransactionalSortedMap[int, int], tx *stm.Tx, k int) bool {
 	}
 	tm.lockGuards()
 	defer tm.unlockGuards()
-	for _, e := range l.rangeLocks {
-		if tm.sorted.rangeLockers.Covers(e, k) {
+	for _, rl := range l.rangeLocks {
+		if tm.sorted.rangeLockers[rl.si].Covers(rl.e, k) {
 			return true
 		}
 	}
@@ -327,9 +329,9 @@ func coversAny(tm *TransactionalSortedMap[int, int], tx *stm.Tx, k int) bool {
 // TestQueueLocks asserts Table 8.
 func TestQueueLocks(t *testing.T) {
 	emptyHeld := func(q *TransactionalQueue[int], h *stm.Handle) bool {
-		q.guard.Lock()
-		defer q.guard.Unlock()
-		return q.emptyLockers.Holds(h)
+		q.lanes[0].guard.Lock()
+		defer q.lanes[0].guard.Unlock()
+		return q.lanes[0].emptyLockers.Holds(h)
 	}
 	t.Run("peek-empty", func(t *testing.T) {
 		q := newQueue()

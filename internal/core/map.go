@@ -37,12 +37,21 @@
 // disjoint keys of the same map run fully in parallel and a commit's
 // guard footprint covers only the stripes its buffer touched
 // (NewStripedTransactionalMap; DESIGN.md §4.2). NewTransactionalMap
-// wraps one caller-supplied structure and is therefore single-stripe,
-// as are TransactionalSortedMap (range and endpoint locks are
-// inherently cross-key, so a sorted map cannot be partitioned by key
-// hash without every iterator and navigation query taking every stripe)
-// and TransactionalQueue (all contention is at the two endpoints; there
-// is no key to stripe by).
+// wraps one caller-supplied structure and is therefore single-stripe.
+//
+// TransactionalSortedMap stripes differently: range and endpoint locks
+// are inherently cross-key, so hashing keys to stripes would force
+// every iterator and navigation query to take every stripe. Instead
+// NewRangeStripedTransactionalSortedMap partitions the *key space* into
+// contiguous intervals — each stripe fuses its own guard, sorted shard,
+// key-lock table and range-lock table — so point operations and range
+// scans confined to one interval stay on one guard, and only scans and
+// endpoint walks that genuinely span intervals touch several stripes
+// (one guard at a time, in ascending interval order; see
+// sortedmap_striped.go and DESIGN.md §4.5). TransactionalQueue
+// similarly segments into lanes (NewSegmentedTransactionalQueue):
+// semantic FIFO is preserved per lane, and producers/consumers on
+// different lanes commit and run handler windows in parallel.
 //
 // Caveat, matching the paper's single-handler design choice (§5.1
 // "Single versus multiple handlers"): collection operations performed
@@ -106,7 +115,7 @@ type mapLocal[K comparable, V any] struct {
 	emptyLocked bool
 	firstLocked bool
 	lastLocked  bool
-	rangeLocks  []*semlock.RangeEntry[K]
+	rangeLocks  []stripedRange[K]
 	storeBuffer map[K]*mapWrite[V]
 	// sortedKeys is Table 6's sortedStoreBuffer: for sorted maps, the
 	// buffered keys in comparator order, so iterators and navigation
@@ -131,14 +140,59 @@ func (l *mapLocal[K, V]) bufferKey(k K) {
 	}
 }
 
+// stripedRange records one range lock a transaction holds, with the
+// stripe whose table the entry lives in (always 0 on single-stripe
+// instances). The stripe index is what lets releaseLocked return each
+// entry to the table it came from after an interval-striped walk left
+// entries in several stripes' tables.
+type stripedRange[K comparable] struct {
+	si int
+	e  *semlock.RangeEntry[K]
+}
+
 // sortedExt carries the extra shared state of TransactionalSortedMap
-// (Table 6): the sorted view of the wrapped map and the range and
-// endpoint lock tables.
+// (Table 6): the sorted views of the wrapped shards and the range and
+// endpoint lock tables. A single-stripe sorted map has one shard and
+// one range table; a range-striped one (see sortedmap_striped.go) has
+// one of each per interval stripe, split by the boundaries slice.
 type sortedExt[K comparable, V any] struct {
-	sm           collections.SortedMap[K, V]
-	rangeLockers *semlock.RangeTable[K]
+	// cmp is the comparator shared by every shard (captured at
+	// construction, read-only thereafter).
+	cmp func(a, b K) int
+	// sms[i] is stripe i's committed sorted shard — the same object as
+	// stripes[i].m, retyped to its sorted interface.
+	sms []collections.SortedMap[K, V]
+	// boundaries[i] is the inclusive lower bound of stripe i+1's
+	// interval: stripe 0 owns keys below boundaries[0], stripe i owns
+	// [boundaries[i-1], boundaries[i]), the last stripe owns the tail.
+	// Empty for single-stripe instances. Immutable after construction.
+	boundaries []K
+	// rangeLockers[i] is stripe i's range-lock table; an entry in table
+	// i is only ever checked against keys of stripe i, so nil bounds
+	// mean "to this stripe's edge", not the whole key space.
+	rangeLockers []*semlock.RangeTable[K]
+	// firstLockers/lastLockers are the endpoint locks of Table 5, used
+	// by the single-stripe paths only: a striped sorted map expresses
+	// endpoint observations as range+key locks laid down by the
+	// stripe-walk (walkUp/walkDown), which a committing endpoint change
+	// necessarily violates.
 	firstLockers *semlock.OwnerSet
 	lastLockers  *semlock.OwnerSet
+}
+
+// stripeFor maps k to its interval stripe: the number of boundaries at
+// or below k (binary search; boundaries is immutable).
+func (x *sortedExt[K, V]) stripeFor(k K) int {
+	lo, hi := 0, len(x.boundaries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.cmp(k, x.boundaries[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // mapStripe is one shard of a TransactionalMap: a slice of the
@@ -281,11 +335,16 @@ func normalizeStripes(n int) int {
 // SetName labels this instance in violation reasons so conflict
 // profiles (harness.FormatViolationProfile) attribute lost work to
 // specific structures. Striped instances label each stripe's guard
-// "name.stripe[i]" so guard-wait heatmaps show the stripes working.
+// "name.stripe[i]" — or "name.range[i]" for an interval-striped sorted
+// map — so guard-wait heatmaps show the stripes working.
 func (tm *TransactionalMap[K, V]) SetName(name string) {
 	tm.name = name
 	if len(tm.stripes) == 1 {
 		tm.stripes[0].guard.SetLabel(name)
+	} else if tm.sorted != nil {
+		for i, st := range tm.stripes {
+			st.guard.SetLabel(name + ".range[" + strconv.Itoa(i) + "]")
+		}
 	} else {
 		for i, st := range tm.stripes {
 			st.guard.SetLabel(name + ".stripe[" + strconv.Itoa(i) + "]")
@@ -320,10 +379,14 @@ func (tm *TransactionalMap[K, V]) Guard() *stm.Guard { return tm.stripes[0].guar
 // NewStripedTransactionalMap).
 func (tm *TransactionalMap[K, V]) Stripes() int { return len(tm.stripes) }
 
-// StripeOf returns the index of the stripe k hashes to.
+// StripeOf returns the index of k's stripe: its hash stripe for a
+// plain map, its interval stripe for a range-striped sorted map.
 func (tm *TransactionalMap[K, V]) StripeOf(k K) int {
 	if tm.mask == 0 {
 		return 0
+	}
+	if tm.sorted != nil {
+		return tm.sorted.stripeFor(k)
 	}
 	return int(maphash.Comparable(stripeSeed, k) & tm.mask)
 }
@@ -357,6 +420,34 @@ func (tm *TransactionalMap[K, V]) unlockGuards() {
 	for _, st := range tm.stripes {
 		st.guard.Unlock()
 	}
+}
+
+// lockStripeSpan locks the guards of stripes [lo, hi], in ascending
+// guard-id order (slice order), for snapshot-mode navigation over a
+// contiguous interval span of a range-striped sorted map. Like
+// lockGuards, the ascending order keeps the hold compatible with the
+// commit protocol's sorted footprint acquisition; stmlint classifies a
+// lockStripeSpan call as opening a commit-guard hold window.
+func (tm *TransactionalMap[K, V]) lockStripeSpan(lo, hi int) {
+	for si := lo; si <= hi; si++ {
+		tm.stripes[si].guard.Lock()
+	}
+}
+
+// unlockStripeSpan unlocks the guards of stripes [lo, hi] (closing the
+// hold window).
+func (tm *TransactionalMap[K, V]) unlockStripeSpan(lo, hi int) {
+	for si := lo; si <= hi; si++ {
+		tm.stripes[si].guard.Unlock()
+	}
+}
+
+// addRangeLock publishes e into stripe si's range-lock table and
+// records it in the transaction's local state so releaseLocked can
+// return it to the right table. Caller holds stripe si's guard.
+func (tm *TransactionalMap[K, V]) addRangeLock(l *mapLocal[K, V], si int, e *semlock.RangeEntry[K]) {
+	tm.sorted.rangeLockers[si].Add(e)
+	l.rangeLocks = append(l.rangeLocks, stripedRange[K]{si: si, e: e})
 }
 
 // SetOpCost overrides the abstract cycle cost charged per operation.
@@ -398,7 +489,7 @@ func (tm *TransactionalMap[K, V]) local(tx *stm.Tx) *mapLocal[K, V] {
 		storeBuffer: make(map[K]*mapWrite[V]),
 	}
 	if tm.sorted != nil {
-		l.sortedKeys = collections.NewTreeMapFunc[K, struct{}](tm.sorted.sm.Compare)
+		l.sortedKeys = collections.NewTreeMapFunc[K, struct{}](tm.sorted.cmp)
 	}
 	tx.SetLocal(tm, l)
 	if len(tm.stripes) == 1 {
@@ -747,7 +838,12 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 		}
 	}
 	var oldFirst, oldLast *K
-	if tm.sorted != nil && len(l.storeBuffer) > 0 {
+	// Endpoint (first/last) sweeps exist only on the single-stripe
+	// sorted map: a range-striped one expresses endpoint observations
+	// as the range+key locks laid down by walkUp/walkDown, which the
+	// per-key range sweep below already violates.
+	sweepEndpoints := tm.sorted != nil && len(tm.stripes) == 1
+	if sweepEndpoints && len(l.storeBuffer) > 0 {
 		oldFirst, oldLast = tm.endpointsLocked()
 	}
 	// mon gates the per-stripe violation counters: one atomic load for
@@ -768,7 +864,8 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 		}
 		if tm.sorted != nil && membershipChanged {
 			// Range conflict: the key entered or left an iterated range.
-			n += tm.sorted.rangeLockers.ViolateCovering(k, h, tm.reasonRange)
+			// Only k's own stripe's table can hold entries covering k.
+			n += tm.sorted.rangeLockers[tm.StripeOf(k)].ViolateCovering(k, h, tm.reasonRange)
 		}
 		if mon && n > 0 {
 			st.violations.Add(uint64(n))
@@ -796,7 +893,7 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 			}
 		}
 	}
-	if tm.sorted != nil && len(l.storeBuffer) > 0 {
+	if sweepEndpoints && len(l.storeBuffer) > 0 {
 		n := 0
 		newFirst, newLast := tm.endpointsLocked()
 		if !tm.sameKey(oldFirst, newFirst) {
@@ -816,10 +913,10 @@ func (tm *TransactionalMap[K, V]) applyLocked(l *mapLocal[K, V], h semlock.Owner
 // the map is empty). Caller holds the instance guard; only valid for
 // sorted maps (single-stripe).
 func (tm *TransactionalMap[K, V]) endpointsLocked() (first, last *K) {
-	if f, ok := tm.sorted.sm.FirstKey(); ok {
+	if f, ok := tm.sorted.sms[0].FirstKey(); ok {
 		first = &f
 	}
-	if lst, ok := tm.sorted.sm.LastKey(); ok {
+	if lst, ok := tm.sorted.sms[0].LastKey(); ok {
 		last = &lst
 	}
 	return
@@ -832,7 +929,7 @@ func (tm *TransactionalMap[K, V]) sameKey(a, b *K) bool {
 	if a == nil {
 		return true
 	}
-	return tm.sorted.sm.Compare(*a, *b) == 0
+	return tm.sorted.cmp(*a, *b) == 0
 }
 
 // releaseLocked releases every semantic lock held by this transaction
@@ -856,8 +953,8 @@ func (tm *TransactionalMap[K, V]) releaseLocked(l *mapLocal[K, V], h semlock.Own
 		}
 	}
 	if tm.sorted != nil {
-		for _, e := range l.rangeLocks {
-			tm.sorted.rangeLockers.Remove(e)
+		for _, rl := range l.rangeLocks {
+			tm.sorted.rangeLockers[rl.si].Remove(rl.e)
 		}
 		if l.firstLocked {
 			tm.sorted.firstLockers.Unlock(h)

@@ -23,7 +23,7 @@ import (
 // strict), merging committed state (skipping buffered removals) with
 // buffered additions. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedCeilingLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
-	sm := t.sorted.sm
+	sm := t.sorted.sms[0]
 	var committed *K
 	var c K
 	var ok bool
@@ -56,7 +56,7 @@ func (t *TransactionalSortedMap[K, V]) mergedCeilingLocked(l *mapLocal[K, V], k 
 
 // mergedFloorLocked is the descending mirror. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedFloorLocked(l *mapLocal[K, V], k K, strict bool) (K, bool) {
-	sm := t.sorted.sm
+	sm := t.sorted.sms[0]
 	var committed *K
 	var c K
 	var ok bool
@@ -87,8 +87,16 @@ func (t *TransactionalSortedMap[K, V]) mergedFloorLocked(l *mapLocal[K, V], k K,
 	return *best, true
 }
 
-// navigateUp implements CeilingKey/HigherKey with gap locking.
+// navigateUp implements CeilingKey/HigherKey with gap locking. On a
+// range-striped map the query walks stripes upward from k's interval
+// (walkUp), laying an equivalent chain of per-stripe gap locks.
 func (t *TransactionalSortedMap[K, V]) navigateUp(tx *stm.Tx, k K, strict bool) (K, bool) {
+	if t.mask != 0 {
+		if tx.IsSnapshot() {
+			return t.snapshotCeiling(tx, k, strict)
+		}
+		return t.walkUp(tx, &k, strict)
+	}
 	l := t.local(tx)
 	var res K
 	var ok bool
@@ -106,16 +114,22 @@ func (t *TransactionalSortedMap[K, V]) navigateUp(tx *stm.Tx, k K, strict bool) 
 		}
 		// No result: the whole tail [k, +inf) was observed empty; the
 		// unbounded range lock protects that observation.
-		t.sorted.rangeLockers.Add(e)
-		l.rangeLocks = append(l.rangeLocks, e)
+		t.addRangeLock(l, 0, e)
 		return nil
 	})
 	tx.Thread().Clock.Tick(t.opCost)
 	return res, ok
 }
 
-// navigateDown implements FloorKey/LowerKey with gap locking.
+// navigateDown implements FloorKey/LowerKey with gap locking (striped:
+// a downward stripe-walk, see navigateUp).
 func (t *TransactionalSortedMap[K, V]) navigateDown(tx *stm.Tx, k K, strict bool) (K, bool) {
+	if t.mask != 0 {
+		if tx.IsSnapshot() {
+			return t.snapshotFloor(tx, k, strict)
+		}
+		return t.walkDown(tx, &k, strict)
+	}
 	l := t.local(tx)
 	var res K
 	var ok bool
@@ -131,8 +145,7 @@ func (t *TransactionalSortedMap[K, V]) navigateDown(tx *stm.Tx, k K, strict bool
 			e.Lo = &lo // [res, k]
 			t.lockKeyLocked(l, h, res)
 		}
-		t.sorted.rangeLockers.Add(e)
-		l.rangeLocks = append(l.rangeLocks, e)
+		t.addRangeLock(l, 0, e)
 		return nil
 	})
 	tx.Thread().Clock.Tick(t.opCost)

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tcc/internal/collections"
+	"tcc/internal/stm"
+)
+
+func newSegmentedQueue(lanes int) *TransactionalQueue[int] {
+	return NewSegmentedTransactionalQueue[int](func() collections.Queue[int] {
+		return collections.NewLinkedQueue[int]()
+	}, lanes)
+}
+
+// newLaneTh pins a thread to a lane: LaneOf hashes Thread.TraceID, so a
+// TraceID equal to the lane index (for power-of-two lane counts) lands
+// exactly there.
+func newLaneTh(seed int64, lane int) *stm.Thread {
+	th := stm.NewThread(&stm.RealClock{}, seed)
+	th.TraceID = lane
+	return th
+}
+
+// TestSegmentedQueueLaneFIFO is the lane-level FIFO property test:
+// elements enqueued on one lane dequeue in exactly their enqueue order,
+// regardless of traffic on other lanes interleaved between them.
+func TestSegmentedQueueLaneFIFO(t *testing.T) {
+	q := newSegmentedQueue(4)
+	if q.Lanes() != 4 {
+		t.Fatalf("Lanes = %d, want 4", q.Lanes())
+	}
+	th := newTh(1)
+	// Interleave enqueues round-robin across lanes; encode (lane, seq)
+	// in the value.
+	const perLane = 10
+	atomically(t, th, func(tx *stm.Tx) {
+		for seq := 0; seq < perLane; seq++ {
+			for lane := 0; lane < 4; lane++ {
+				q.PutLane(tx, lane, lane*1000+seq)
+			}
+		}
+	})
+	// Drain from each lane's local perspective: a consumer pinned to a
+	// lane sees that lane's elements first, in order. tryDequeue probes
+	// the consumer's home lane before stealing, so a full home lane is
+	// drained FIFO before anything else arrives.
+	nextSeq := make([]int, 4)
+	for lane := 0; lane < 4; lane++ {
+		lth := newLaneTh(int64(10+lane), lane)
+		for i := 0; i < perLane; i++ {
+			var v int
+			var ok bool
+			if err := lth.Atomic(func(tx *stm.Tx) error {
+				if got := q.LaneOf(tx); got != lane {
+					t.Fatalf("LaneOf = %d for TraceID %d, want %d", got, lane, lane)
+				}
+				v, ok = q.Poll(tx)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("lane %d: queue empty after %d polls", lane, i)
+			}
+			gotLane, gotSeq := v/1000, v%1000
+			if gotLane != lane {
+				t.Fatalf("lane %d consumer got element from lane %d", lane, gotLane)
+			}
+			if gotSeq != nextSeq[gotLane] {
+				t.Fatalf("lane %d: seq %d out of order, want %d", gotLane, gotSeq, nextSeq[gotLane])
+			}
+			nextSeq[gotLane]++
+		}
+	}
+	if got := q.CommittedSize(); got != 0 {
+		t.Fatalf("CommittedSize = %d after drain, want 0", got)
+	}
+}
+
+// TestSegmentedQueueStealsAcrossLanes: when the consumer's home lane is
+// empty, Poll falls through to the other lanes rather than reporting
+// empty — the segmented queue is still one queue.
+func TestSegmentedQueueStealsAcrossLanes(t *testing.T) {
+	q := newSegmentedQueue(4)
+	th := newTh(1)
+	atomically(t, th, func(tx *stm.Tx) {
+		q.PutLane(tx, 2, 42)
+	})
+	consumer := newLaneTh(2, 0) // home lane 0, which is empty
+	var v int
+	var ok bool
+	if err := consumer.Atomic(func(tx *stm.Tx) error {
+		v, ok = q.Poll(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || v != 42 {
+		t.Fatalf("Poll = (%d,%v), want (42,true) stolen from lane 2", v, ok)
+	}
+}
+
+// TestSegmentedQueueEmptyPollLocksAllLanes: a Poll that reports empty
+// must have proven EVERY lane empty atomically and hold all lanes'
+// empty locks, so any producer's enqueue — on any lane — conflicts.
+func TestSegmentedQueueEmptyPollLocksAllLanes(t *testing.T) {
+	for lane := 0; lane < 4; lane++ {
+		q := newSegmentedQueue(4)
+		conflicted := runInterleaved(t,
+			func(tx *stm.Tx) {},
+			func(tx *stm.Tx) {
+				// On a retry the producer's element is visible; only the
+				// first attempt observes (and locks) emptiness.
+				if _, ok := q.Poll(tx); ok && tx.Attempt() == 0 {
+					t.Error("Poll on empty segmented queue returned a value")
+				}
+			},
+			func(tx *stm.Tx) { q.PutLane(tx, lane, 1) },
+		)
+		if !conflicted {
+			t.Fatalf("empty-Poll did not conflict with a Put on lane %d", lane)
+		}
+	}
+}
+
+// TestSegmentedQueueDisjointLanesCommute: a producer on one lane and a
+// consumer draining another (non-empty) lane have disjoint footprints
+// and commit without conflict.
+func TestSegmentedQueueDisjointLanesCommute(t *testing.T) {
+	q := newSegmentedQueue(4)
+	conflicted := runInterleaved(t,
+		func(tx *stm.Tx) { q.PutLane(tx, 0, 1); q.PutLane(tx, 0, 2) },
+		func(tx *stm.Tx) {
+			tx.Thread().TraceID = 0 // consume from lane 0
+			if v, ok := q.Poll(tx); !ok || v != 1 {
+				t.Errorf("Poll = (%d,%v), want (1,true)", v, ok)
+			}
+		},
+		func(tx *stm.Tx) { q.PutLane(tx, 3, 99) },
+	)
+	if conflicted {
+		t.Fatal("dequeue from lane 0 conflicted with enqueue on lane 3")
+	}
+}
+
+// TestSegmentedQueueDisjointLaneHandlerWindowsOverlap is the queue's
+// rendezvous proof: two transactions committing to different lanes of
+// the SAME queue hold their commit-handler windows simultaneously.
+// With the old single-guard queue this deadlocks until the timeout.
+func TestSegmentedQueueDisjointLaneHandlerWindowsOverlap(t *testing.T) {
+	q := newSegmentedQueue(4)
+	aIn, bIn := make(chan struct{}), make(chan struct{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var onceA, onceB sync.Once
+	go func() {
+		defer wg.Done()
+		th := newTh(1)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			q.PutLane(tx, 0, 1)
+			tx.OnCommitGuarded(q.LaneGuard(0), func() {
+				onceA.Do(func() { close(aIn) })
+				<-bIn
+			})
+			return nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		th := newTh(2)
+		_ = th.Atomic(func(tx *stm.Tx) error {
+			q.PutLane(tx, 3, 2)
+			tx.OnCommitGuarded(q.LaneGuard(3), func() {
+				onceB.Do(func() { close(bIn) })
+				<-aIn
+			})
+			return nil
+		})
+	}()
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("disjoint-lane handler windows on one segmented queue did not overlap")
+	}
+	if got := q.CommittedSize(); got != 2 {
+		t.Fatalf("CommittedSize = %d after overlapping commits, want 2", got)
+	}
+}
+
+// TestSegmentedQueueSingleLaneEquivalence: one lane reproduces the
+// plain queue, including the empty-lock protocol on the single lane.
+func TestSegmentedQueueSingleLaneEquivalence(t *testing.T) {
+	q := newSegmentedQueue(1)
+	if q.Lanes() != 1 || q.mask != 0 {
+		t.Fatalf("1-lane queue: lanes=%d mask=%d", q.Lanes(), q.mask)
+	}
+	th := newTh(1)
+	atomically(t, th, func(tx *stm.Tx) {
+		q.Put(tx, 7)
+	})
+	conflicted := runInterleaved(t,
+		func(tx *stm.Tx) {},
+		func(tx *stm.Tx) {
+			// The abort's refill re-enqueues 7 behind the committed 8, so
+			// the retry sees a different order; assert only on attempt 0.
+			if v, ok := q.Poll(tx); tx.Attempt() == 0 && (!ok || v != 7) {
+				t.Errorf("Poll = (%d,%v)", v, ok)
+			}
+			if _, ok := q.Poll(tx); ok && tx.Attempt() == 0 {
+				t.Error("second Poll returned a value")
+			}
+		},
+		func(tx *stm.Tx) { q.Put(tx, 8) },
+	)
+	if !conflicted {
+		t.Fatal("single-lane empty-Poll did not conflict with Put")
+	}
+}
+
+// TestSegmentedQueueNoLostOrDuplicatedWork hammers producers and
+// consumers across all lanes and checks conservation.
+func TestSegmentedQueueNoLostOrDuplicatedWork(t *testing.T) {
+	q := newSegmentedQueue(4)
+	const producers, perProducer = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := newLaneTh(int64(p+1), p)
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					q.Put(tx, v)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]int)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < producers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			th := newLaneTh(int64(100+c), c)
+			for {
+				var v int
+				var ok bool
+				if err := th.Atomic(func(tx *stm.Tx) error {
+					v, ok = q.Poll(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					mu.Lock()
+					n := len(seen)
+					mu.Unlock()
+					if n >= producers*perProducer {
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}

@@ -17,10 +17,11 @@ type TransactionalSortedMap[K comparable, V any] struct {
 
 // NewTransactionalSortedMap wraps sm. The wrapper assumes exclusive
 // ownership of sm; the comparator is captured at construction and is
-// thereafter read-only (Table 6). Sorted maps are always single-stripe:
-// range and endpoint locks are inherently cross-key, so hash-striping
-// the keys would force every iterator and navigation query to take
-// every stripe anyway (see the package documentation's striping note).
+// thereafter read-only (Table 6). Because it adopts one existing
+// structure it is single-stripe; use
+// NewRangeStripedTransactionalSortedMap (which builds its own interval
+// shards) when disjoint-range operations on one hot sorted map need to
+// scale (see the package documentation's striping note).
 func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, V]) *TransactionalSortedMap[K, V] {
 	t := &TransactionalSortedMap[K, V]{
 		TransactionalMap: TransactionalMap[K, V]{
@@ -29,8 +30,9 @@ func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, 
 		},
 	}
 	t.sorted = &sortedExt[K, V]{
-		sm:           sm,
-		rangeLockers: semlock.NewRangeTable[K](sm.Compare),
+		cmp:          sm.Compare,
+		sms:          []collections.SortedMap[K, V]{sm},
+		rangeLockers: []*semlock.RangeTable[K]{semlock.NewRangeTable[K](sm.Compare)},
 		firstLockers: semlock.NewOwnerSet(),
 		lastLockers:  semlock.NewOwnerSet(),
 	}
@@ -39,7 +41,7 @@ func NewTransactionalSortedMap[K comparable, V any](sm collections.SortedMap[K, 
 }
 
 // Compare applies the map's comparator.
-func (t *TransactionalSortedMap[K, V]) Compare(a, b K) int { return t.sorted.sm.Compare(a, b) }
+func (t *TransactionalSortedMap[K, V]) Compare(a, b K) int { return t.sorted.cmp(a, b) }
 
 // bufferCeilingLocked returns the smallest buffered non-removed key
 // >= *k (> *k when strict); k == nil starts from the buffer's minimum.
@@ -92,7 +94,7 @@ func (t *TransactionalSortedMap[K, V]) bufferFloorLocked(l *mapLocal[K, V], k *K
 // transaction: the smallest committed key that is not buffered-removed,
 // merged with the smallest buffered addition. Caller holds the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, bool) {
-	sm := t.sorted.sm
+	sm := t.sorted.sms[0]
 	var committed *K
 	sm.AscendRange(nil, nil, func(k K, _ V) bool {
 		if w, ok := l.storeBuffer[k]; ok && w.removed {
@@ -118,7 +120,7 @@ func (t *TransactionalSortedMap[K, V]) mergedFirstLocked(l *mapLocal[K, V]) (K, 
 // mergedLastLocked is the mirror of mergedFirstLocked. Caller holds
 // the instance guard.
 func (t *TransactionalSortedMap[K, V]) mergedLastLocked(l *mapLocal[K, V]) (K, bool) {
-	sm := t.sorted.sm
+	sm := t.sorted.sms[0]
 	var committed *K
 	k, ok := sm.LastKey()
 	for ok {
@@ -144,8 +146,17 @@ func (t *TransactionalSortedMap[K, V]) mergedLastLocked(l *mapLocal[K, V]) (K, b
 
 // FirstKey returns the minimum key as seen by tx, taking the first lock
 // (Table 5): a committing put or remove that changes the map's minimum
-// aborts this transaction.
+// aborts this transaction. On a range-striped map the observation is a
+// stripe-walk instead: range+key locks laid from the bottom of the key
+// space to the first live key (walkUp), which any endpoint-changing
+// commit necessarily violates.
 func (t *TransactionalSortedMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
+	if t.mask != 0 {
+		if tx.IsSnapshot() {
+			return t.snapshotFirstKey(tx)
+		}
+		return t.walkUp(tx, nil, false)
+	}
 	l := t.local(tx)
 	var k K
 	var ok bool
@@ -161,8 +172,15 @@ func (t *TransactionalSortedMap[K, V]) FirstKey(tx *stm.Tx) (K, bool) {
 	return k, ok
 }
 
-// LastKey returns the maximum key as seen by tx, taking the last lock.
+// LastKey returns the maximum key as seen by tx, taking the last lock
+// (or, range-striped, walking stripes downward — see FirstKey).
 func (t *TransactionalSortedMap[K, V]) LastKey(tx *stm.Tx) (K, bool) {
+	if t.mask != 0 {
+		if tx.IsSnapshot() {
+			return t.snapshotLastKey(tx)
+		}
+		return t.walkDown(tx, nil, false)
+	}
 	l := t.local(tx)
 	var k K
 	var ok bool
@@ -196,6 +214,12 @@ type SortedIterator[K comparable, V any] struct {
 	lock    *semlock.RangeEntry[K]
 	pending *mapEntry[K, V]
 	done    bool
+	// Range-striped state (advanceStriped): si is the stripe the scan
+	// is currently positioned in; slocks[i] is the widening range lock
+	// this iterator owns in stripe i's table (created lazily as the
+	// scan enters stripe i).
+	si     int
+	slocks []*semlock.RangeEntry[K]
 }
 
 // Iterator creates an ascending iterator over the whole map.
@@ -205,14 +229,24 @@ func (t *TransactionalSortedMap[K, V]) Iterator(tx *stm.Tx) *SortedIterator[K, V
 
 func (t *TransactionalSortedMap[K, V]) rangeIterator(tx *stm.Tx, lo, hi *K) *SortedIterator[K, V] {
 	//stmlint:ignore tx-escape iterator is per-transaction local state (Table 5) and documented not to outlive tx
-	return &SortedIterator[K, V]{t: t, tx: tx, l: t.local(tx), lo: lo, hi: hi}
+	it := &SortedIterator[K, V]{t: t, tx: tx, l: t.local(tx), lo: lo, hi: hi}
+	if t.mask != 0 {
+		if lo != nil {
+			it.si = t.sorted.stripeFor(*lo)
+		}
+		it.slocks = make([]*semlock.RangeEntry[K], len(t.stripes))
+	}
+	return it
 }
 
 // advance finds the next live merged key after it.last (or from it.lo),
 // locking and recording it.
 func (it *SortedIterator[K, V]) advance() (K, V, bool) {
 	t, l := it.t, it.l
-	sm := t.sorted.sm
+	if t.mask != 0 {
+		return it.advanceStriped()
+	}
+	sm := t.sorted.sms[0]
 	var outK K
 	var outV V
 	found := false
@@ -239,8 +273,7 @@ func (it *SortedIterator[K, V]) advance() (K, V, bool) {
 				t.sorted.firstLockers.Lock(h)
 				l.firstLocked = true
 			}
-			t.sorted.rangeLockers.Add(it.lock)
-			l.rangeLocks = append(l.rangeLocks, it.lock)
+			t.addRangeLock(l, 0, it.lock)
 		}
 		// Committed candidate: smallest committed key in (last, hi) —
 		// or [lo, hi) before the first return — skipping
@@ -329,6 +362,13 @@ func (it *SortedIterator[K, V]) HasNext() bool {
 	if !ok {
 		it.done = true
 		t, l := it.t, it.l
+		if t.mask != 0 {
+			// Range-striped: advanceStriped already left range locks
+			// covering every scanned interval through the view bound
+			// (or to the top of the key space), so the emptiness of the
+			// tail is protected without endpoint locks.
+			return false
+		}
 		_ = it.tx.Open(func(o *stm.Tx) error {
 			t.guard0().Lock()
 			defer t.guard0().Unlock()
@@ -354,8 +394,7 @@ func (it *SortedIterator[K, V]) HasNext() bool {
 				hi := *it.hi
 				e.Hi = &hi
 				e.HiExcl = true
-				t.sorted.rangeLockers.Add(e)
-				l.rangeLocks = append(l.rangeLocks, e)
+				t.addRangeLock(l, 0, e)
 				it.lock = e
 			}
 			return nil
@@ -410,7 +449,7 @@ type SortedView[K comparable, V any] struct {
 
 // SubMap returns the view of keys in [lo, hi).
 func (t *TransactionalSortedMap[K, V]) SubMap(lo, hi K) *SortedView[K, V] {
-	if t.sorted.sm.Compare(lo, hi) > 0 {
+	if t.sorted.cmp(lo, hi) > 0 {
 		panic("core: SubMap bounds out of order")
 	}
 	return &SortedView[K, V]{t: t, lo: &lo, hi: &hi}
@@ -429,7 +468,7 @@ func (t *TransactionalSortedMap[K, V]) TailMap(lo K) *SortedView[K, V] {
 // inRange panics when k is outside the view, mirroring java.util's
 // IllegalArgumentException.
 func (v *SortedView[K, V]) inRange(k K) {
-	cmp := v.t.sorted.sm.Compare
+	cmp := v.t.sorted.cmp
 	if v.lo != nil && cmp(k, *v.lo) < 0 || v.hi != nil && cmp(k, *v.hi) >= 0 {
 		panic("core: key outside sorted view range")
 	}

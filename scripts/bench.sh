@@ -25,12 +25,15 @@ note=${BENCH_NOTE:-}
   # STM hot-path microbenchmarks (allocation-reporting).
   go test -run '^$' -bench 'BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" ./internal/stm
   # Wall-clock operation benches, simulator figure regenerations, and
-  # the root-level STM demonstration benches (striped hot-map pair).
+  # the root-level STM demonstration benches: the striped hot-map pair,
+  # the range-striped sorted-map pair (BenchmarkSTMHotSortedMap[SingleGuard]),
+  # and the segmented-queue pair (BenchmarkSTMHotQueueDisjointLanes[SingleLane]).
   go test -run '^$' -bench 'BenchmarkReal|BenchmarkFigure|BenchmarkSTM' -benchmem -benchtime "$time" -count "$count" .
   # Synchrobench-style protocol sweep (protocol × collection × update
-  # ratio × goroutine count); its stdout is bench-format text, so it
-  # merges into the same report. The human summary goes to stderr with
-  # the rest of the bench chatter.
+  # ratio × goroutine count), including the striped-sortedmap and
+  # segmented-queue (lanequeue) columns; its stdout is bench-format
+  # text, so it merges into the same report. The human summary goes to
+  # stderr with the rest of the bench chatter.
   go run ./cmd/stmsweep
 } | tee /dev/stderr | go run ./cmd/benchjson -note "$note" > "$out"
 

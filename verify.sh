@@ -47,6 +47,10 @@ go test -run 'TestStripedDisjointKeyHandlerWindowsOverlap|TestStripedMapConflict
   -count=1 ./internal/core >/dev/null
 go run ./cmd/tccbench -fig 5 -ops 64 -cpus 1,2 >/dev/null
 
+echo "== striped-sortedmap + segmented-queue smoke (disjoint windows overlap, all protocols)"
+go test -run 'TestRangeStripedDisjointRangeHandlerWindowsOverlap|TestRangeStripedScanSerializability|TestSegmentedQueueDisjointLaneHandlerWindowsOverlap|TestSegmentedQueueLaneFIFO|TestStripedStructuresAcrossProtocols' \
+  -count=1 ./internal/core >/dev/null
+
 echo "== tccbench smoke (figure 1, tiny config)"
 go run ./cmd/tccbench -fig 1 -ops 64 -cpus 1,2 >/dev/null
 
@@ -98,7 +102,8 @@ echo "== protocol sweep smoke (stmsweep -smoke, JSON-validated via benchjson)"
 go run ./cmd/stmsweep -smoke 2> /dev/null \
   | go run ./cmd/benchjson -note "stmsweep smoke" > "$obsdir/sweep.json"
 for cell in 'Sweep/striped/u10/g2/tl2' 'Sweep/striped/u50/g4/norec' \
-            'Sweep/queue/u50/g4/tl2-eager'; do
+            'Sweep/queue/u50/g4/tl2-eager' 'Sweep/sortedmap/u10/g2/tl2' \
+            'Sweep/lanequeue/u50/g4/norec'; do
   if ! grep -q "\"name\": \"$cell\"" "$obsdir/sweep.json"; then
     echo "sweep smoke: cell $cell missing from report" >&2
     exit 1
